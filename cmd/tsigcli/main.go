@@ -1,0 +1,325 @@
+// Command tsigcli is a file-based front end for the Section 3 threshold
+// signature: it generates a key group (simulating the DKG among n local
+// "servers"), produces partial signatures from individual share files,
+// combines them, and verifies full signatures.
+//
+//	tsigcli keygen  -n 5 -t 2 -domain my-app -dir keys/
+//	tsigcli sign    -group keys/group.json -share keys/share-1.json -msg "hello" -out 1.psig
+//	tsigcli combine -group keys/group.json -msg "hello" -out final.sig 1.psig 3.psig 5.psig
+//	tsigcli verify  -group keys/group.json -msg "hello" -sig final.sig
+//
+// Each share file is the complete private state of one server; in a real
+// deployment each would live on a different machine (the DKG transcript
+// itself is an in-process simulation — see internal/transport).
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bn254"
+	"repro/internal/core"
+)
+
+// groupFile is the public portion of a key group.
+type groupFile struct {
+	Domain string   `json:"domain"`
+	N      int      `json:"n"`
+	T      int      `json:"t"`
+	PK1    string   `json:"pk_g1"` // hex of g^_1
+	PK2    string   `json:"pk_g2"` // hex of g^_2
+	VK1    []string `json:"vk_v1"` // hex of V^_1,i (1-based; index 0 empty)
+	VK2    []string `json:"vk_v2"`
+}
+
+// shareFile is one server's private share.
+type shareFile struct {
+	Index int    `json:"index"`
+	A1    string `json:"a1"`
+	B1    string `json:"b1"`
+	A2    string `json:"a2"`
+	B2    string `json:"b2"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = cmdKeygen(os.Args[2:])
+	case "sign":
+		err = cmdSign(os.Args[2:])
+	case "combine":
+		err = cmdCombine(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsigcli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tsigcli {keygen|sign|combine|verify} [flags]")
+	os.Exit(2)
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	n := fs.Int("n", 5, "number of servers")
+	t := fs.Int("t", 2, "threshold (any t+1 sign; requires n >= 2t+1)")
+	domain := fs.String("domain", "tsigcli/v1", "parameter domain label")
+	dir := fs.String("dir", ".", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params := core.NewParams(*domain)
+	views, outcome, err := core.DistKeygen(params, *n, *t)
+	if err != nil {
+		return err
+	}
+	gf := groupFile{
+		Domain: *domain, N: *n, T: *t,
+		PK1: hex.EncodeToString(views[1].PK.G1.Marshal()),
+		PK2: hex.EncodeToString(views[1].PK.G2.Marshal()),
+		VK1: make([]string, *n+1),
+		VK2: make([]string, *n+1),
+	}
+	for i := 1; i <= *n; i++ {
+		gf.VK1[i] = hex.EncodeToString(views[1].VKs[i].V1.Marshal())
+		gf.VK2[i] = hex.EncodeToString(views[1].VKs[i].V2.Marshal())
+	}
+	if err := writeJSON(filepath.Join(*dir, "group.json"), gf); err != nil {
+		return err
+	}
+	for i := 1; i <= *n; i++ {
+		sf := shareFile{
+			Index: i,
+			A1:    views[i].Share.A1.Text(16),
+			B1:    views[i].Share.B1.Text(16),
+			A2:    views[i].Share.A2.Text(16),
+			B2:    views[i].Share.B2.Text(16),
+		}
+		if err := writeJSON(filepath.Join(*dir, fmt.Sprintf("share-%d.json", i)), sf); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("keygen: n=%d t=%d, DKG used %d communication round(s); wrote group.json and %d share files to %s\n",
+		*n, *t, outcome.Stats.CommunicationRounds(), *n, *dir)
+	return nil
+}
+
+func cmdSign(args []string) error {
+	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	groupPath := fs.String("group", "group.json", "group file")
+	sharePath := fs.String("share", "", "share file")
+	msg := fs.String("msg", "", "message to sign")
+	out := fs.String("out", "", "output partial-signature file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sharePath == "" || *out == "" {
+		return fmt.Errorf("sign: -share and -out are required")
+	}
+	gf, params, _, _, err := loadGroup(*groupPath)
+	if err != nil {
+		return err
+	}
+	var sf shareFile
+	if err := readJSON(*sharePath, &sf); err != nil {
+		return err
+	}
+	share, err := shareFromFile(&sf)
+	if err != nil {
+		return err
+	}
+	ps, err := core.ShareSign(params, share, []byte(*msg))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, []byte(hex.EncodeToString(ps.Marshal())+"\n"), 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("sign: server %d/%d produced a %d-byte partial signature -> %s\n",
+		sf.Index, gf.N, len(ps.Marshal()), *out)
+	return nil
+}
+
+func cmdCombine(args []string) error {
+	fs := flag.NewFlagSet("combine", flag.ExitOnError)
+	groupPath := fs.String("group", "group.json", "group file")
+	msg := fs.String("msg", "", "message that was signed")
+	out := fs.String("out", "sig.bin", "output signature file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, params, pk, vks, err := loadGroup(*groupPath)
+	if err != nil {
+		return err
+	}
+	_ = params
+	var parts []*core.PartialSignature
+	for _, path := range fs.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		dec, err := hex.DecodeString(trimWS(string(raw)))
+		if err != nil {
+			return fmt.Errorf("combine: %s: %w", path, err)
+		}
+		ps, err := core.UnmarshalPartialSignature(dec)
+		if err != nil {
+			return fmt.Errorf("combine: %s: %w", path, err)
+		}
+		parts = append(parts, ps)
+	}
+	gf := groupFile{}
+	if err := readJSON(*groupPath, &gf); err != nil {
+		return err
+	}
+	sig, err := core.Combine(pk, vks, []byte(*msg), parts, gf.T)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, []byte(hex.EncodeToString(sig.Marshal())+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("combine: %d partials -> %d-byte signature -> %s\n", len(parts), len(sig.Marshal()), *out)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	groupPath := fs.String("group", "group.json", "group file")
+	msg := fs.String("msg", "", "message")
+	sigPath := fs.String("sig", "sig.bin", "signature file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, _, pk, _, err := loadGroup(*groupPath)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*sigPath)
+	if err != nil {
+		return err
+	}
+	dec, err := hex.DecodeString(trimWS(string(raw)))
+	if err != nil {
+		return err
+	}
+	var sig core.Signature
+	if err := sig.Unmarshal(dec); err != nil {
+		return err
+	}
+	if !core.Verify(pk, []byte(*msg), &sig) {
+		return fmt.Errorf("verify: INVALID signature")
+	}
+	fmt.Println("verify: OK")
+	return nil
+}
+
+// ---- helpers ----
+
+func loadGroup(path string) (*groupFile, *core.Params, *core.PublicKey, []*core.VerificationKey, error) {
+	var gf groupFile
+	if err := readJSON(path, &gf); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	params := core.NewParams(gf.Domain)
+	g1, err := decodeG2(gf.PK1)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("group pk_g1: %w", err)
+	}
+	g2, err := decodeG2(gf.PK2)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("group pk_g2: %w", err)
+	}
+	pk := &core.PublicKey{Params: params, G1: g1, G2: g2}
+	vks := make([]*core.VerificationKey, gf.N+1)
+	for i := 1; i <= gf.N; i++ {
+		v1, err := decodeG2(gf.VK1[i])
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("vk %d: %w", i, err)
+		}
+		v2, err := decodeG2(gf.VK2[i])
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("vk %d: %w", i, err)
+		}
+		vks[i] = &core.VerificationKey{V1: v1, V2: v2}
+	}
+	return &gf, params, pk, vks, nil
+}
+
+func decodeG2(h string) (*bn254.G2, error) {
+	raw, err := hex.DecodeString(h)
+	if err != nil {
+		return nil, err
+	}
+	p := new(bn254.G2)
+	if err := p.Unmarshal(raw); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func shareFromFile(sf *shareFile) (*core.PrivateKeyShare, error) {
+	parse := func(s string) (*big.Int, error) {
+		v, ok := new(big.Int).SetString(s, 16)
+		if !ok {
+			return nil, fmt.Errorf("malformed scalar %q", s)
+		}
+		return v, nil
+	}
+	a1, err := parse(sf.A1)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := parse(sf.B1)
+	if err != nil {
+		return nil, err
+	}
+	a2, err := parse(sf.A2)
+	if err != nil {
+		return nil, err
+	}
+	b2, err := parse(sf.B2)
+	if err != nil {
+		return nil, err
+	}
+	return &core.PrivateKeyShare{Index: sf.Index, A1: a1, B1: b1, A2: a2, B2: b2}, nil
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o600)
+}
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func trimWS(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r' || s[len(s)-1] == ' ') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

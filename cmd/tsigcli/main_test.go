@@ -1,0 +1,75 @@
+package main
+
+import (
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeygenSignCombineVerifyWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdKeygen([]string{"-n", "3", "-t", "1", "-domain", "cli-test", "-dir", dir}); err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	group := filepath.Join(dir, "group.json")
+	msg := "cli end-to-end"
+	p1 := filepath.Join(dir, "1.psig")
+	p3 := filepath.Join(dir, "3.psig")
+	if err := cmdSign([]string{"-group", group, "-share", filepath.Join(dir, "share-1.json"), "-msg", msg, "-out", p1}); err != nil {
+		t.Fatalf("sign 1: %v", err)
+	}
+	if err := cmdSign([]string{"-group", group, "-share", filepath.Join(dir, "share-3.json"), "-msg", msg, "-out", p3}); err != nil {
+		t.Fatalf("sign 3: %v", err)
+	}
+	sig := filepath.Join(dir, "sig.hex")
+	if err := cmdCombine([]string{"-group", group, "-msg", msg, "-out", sig, p1, p3}); err != nil {
+		t.Fatalf("combine: %v", err)
+	}
+	if err := cmdVerify([]string{"-group", group, "-msg", msg, "-sig", sig}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Wrong message fails.
+	if err := cmdVerify([]string{"-group", group, "-msg", "tampered", "-sig", sig}); err == nil {
+		t.Fatal("verify accepted wrong message")
+	}
+	// Too few shares fail.
+	if err := cmdCombine([]string{"-group", group, "-msg", msg, "-out", sig, p1}); err == nil {
+		t.Fatal("combine succeeded below threshold")
+	}
+}
+
+func TestShareFromFileValidation(t *testing.T) {
+	good := &shareFile{Index: 1, A1: "ff", B1: "0a", A2: "1", B2: "2"}
+	share, err := shareFromFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share.A1.Cmp(big.NewInt(255)) != 0 {
+		t.Fatal("hex parsing wrong")
+	}
+	bad := &shareFile{Index: 1, A1: "zz", B1: "0a", A2: "1", B2: "2"}
+	if _, err := shareFromFile(bad); err == nil {
+		t.Fatal("accepted malformed hex")
+	}
+}
+
+func TestTrimWS(t *testing.T) {
+	if trimWS("abc\r\n") != "abc" || trimWS("abc  ") != "abc" || trimWS("") != "" {
+		t.Fatal("trimWS misbehaves")
+	}
+}
+
+func TestLoadGroupRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "group.json")
+	if err := os.WriteFile(path, []byte(`{"domain":"x","n":1,"t":0,"pk_g1":"00","pk_g2":"00","vk_v1":["",""],"vk_v2":["",""]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := loadGroup(path); err == nil {
+		t.Fatal("accepted malformed group file")
+	}
+	if _, _, _, _, err := loadGroup(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}

@@ -1,0 +1,65 @@
+// Command stdmodel runs the paper's Section 4 construction end to end:
+// the non-interactive adaptively-secure threshold signature in the
+// STANDARD MODEL (no random oracles), built from Groth-Sahai NIWI proofs
+// under message-indexed common reference strings.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"repro/internal/stdmodel"
+)
+
+func main() {
+	const (
+		n = 5
+		t = 2
+	)
+	fmt.Println("== Standard-model scheme (Section 4) ==")
+	fmt.Println("deriving common parameters: f, f_0..f_256 in G^2 (shared by many keys)")
+	params := stdmodel.NewParams("stdmodel-example/v1")
+
+	views, err := stdmodel.DistKeygen(params, n, t)
+	if err != nil {
+		log.Fatalf("Dist-Keygen: %v", err)
+	}
+	fmt.Printf("DKG done: n=%d, t=%d, share size %d bytes (two scalars)\n\n",
+		n, t, views[1].Share.SizeBytes())
+
+	msg := []byte("standard-model message")
+	fmt.Printf("signing %q\n", msg)
+
+	var parts []*stdmodel.PartialSignature
+	for _, i := range []int{2, 3, 5} {
+		ps, err := stdmodel.ShareSign(params, views[i].Share, msg, rand.Reader)
+		if err != nil {
+			log.Fatalf("Share-Sign(%d): %v", i, err)
+		}
+		fmt.Printf("server %d: partial = GS commitments + NIWI proof, %d bytes, valid: %v\n",
+			i, ps.Sig.SizeBytes(), stdmodel.ShareVerify(views[1].PK, views[1].VKs[i], msg, ps))
+		parts = append(parts, ps)
+	}
+
+	sig, err := stdmodel.Combine(views[1].PK, views[1].VKs, msg, parts, t, rand.Reader)
+	if err != nil {
+		log.Fatalf("Combine: %v", err)
+	}
+	fmt.Printf("\ncombined signature: %d bytes = %d bits (paper: 2048 bits)\n",
+		sig.SizeBytes(), sig.SizeBytes()*8)
+	if !stdmodel.Verify(views[1].PK, msg, sig) {
+		log.Fatal("verification failed")
+	}
+	fmt.Println("Verify = 1")
+
+	// Combine re-randomizes: a second combine of the same partials is a
+	// DIFFERENT (but equally valid) signature — signatures are
+	// unlinkable to the combining session.
+	sig2, err := stdmodel.Combine(views[1].PK, views[1].VKs, msg, parts, t, rand.Reader)
+	if err != nil {
+		log.Fatalf("Combine: %v", err)
+	}
+	fmt.Printf("re-randomization: second combine differs byte-wise: %v, verifies: %v\n",
+		string(sig.Marshal()) != string(sig2.Marshal()), stdmodel.Verify(views[1].PK, msg, sig2))
+}

@@ -1,0 +1,112 @@
+package adnstorage
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+const testBits = 1024
+
+var (
+	adnOnce sync.Once
+	adnSys  *System
+	adnErr  error
+)
+
+func fixture(t *testing.T) *System {
+	t.Helper()
+	adnOnce.Do(func() {
+		adnSys, adnErr = Deal(testBits, 5, 2, rand.Reader)
+	})
+	if adnErr != nil {
+		t.Fatalf("Deal: %v", adnErr)
+	}
+	return adnSys
+}
+
+func hashMsg(sys *System, msg []byte) *big.Int {
+	d := sha256.Sum256(msg)
+	h := new(big.Int).SetBytes(d[:])
+	return h.Mod(h, sys.N)
+}
+
+func TestFaultFreeSigningIsOneRound(t *testing.T) {
+	sys := fixture(t)
+	h := hashMsg(sys, []byte("fault free"))
+	sig, rounds, err := sys.Sign(h, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 {
+		t.Fatalf("fault-free path took %d rounds", rounds)
+	}
+	if !sys.Verify(h, sig) {
+		t.Fatal("signature rejected")
+	}
+}
+
+func TestFailureRequiresSecondRound(t *testing.T) {
+	// This is the interactivity gap the paper points out: if one signer
+	// fails, ADN needs a reconstruction round.
+	sys := fixture(t)
+	h := hashMsg(sys, []byte("one signer down"))
+	sig, rounds, err := sys.Sign(h, []int{1, 2, 3, 4}) // player 5 is down
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("failure path took %d rounds, want 2", rounds)
+	}
+	if !sys.Verify(h, sig) {
+		t.Fatal("signature with reconstruction rejected")
+	}
+}
+
+func TestReconstructionMatchesAdditiveShare(t *testing.T) {
+	sys := fixture(t)
+	rec, err := sys.ReconstructAdditiveShare(4, []int{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cmp(sys.Player(4).Additive) != 0 {
+		t.Fatal("backup reconstruction mismatch")
+	}
+	if _, err := sys.ReconstructAdditiveShare(4, []int{1, 2}); err == nil {
+		t.Fatal("reconstructed from too few helpers")
+	}
+}
+
+func TestStorageIsLinearInN(t *testing.T) {
+	// The Theta(n) claim: storage grows by about one exponent-sized value
+	// per extra player.
+	small, err := Deal(testBits, 5, 2, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big_, err := Deal(testBits, 11, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s5 := small.Player(1).StorageBytes()
+	s11 := big_.Player(1).StorageBytes()
+	if s11 <= s5 {
+		t.Fatalf("storage did not grow with n: %d vs %d", s5, s11)
+	}
+	// Roughly (n+1) * modulusBytes each.
+	perShare := testBits/8 + 2
+	if s5 < 5*testBits/8 || s5 > 7*perShare {
+		t.Fatalf("n=5 storage %d bytes out of expected Theta(n) range", s5)
+	}
+	if s11 < 11*testBits/8 {
+		t.Fatalf("n=11 storage %d bytes below expected", s11)
+	}
+}
+
+func TestDealValidation(t *testing.T) {
+	if _, err := Deal(512, 4, 2, rand.Reader); err == nil {
+		t.Fatal("accepted n < 2t+1")
+	}
+}

@@ -1,0 +1,184 @@
+package shouprsa
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// Test keys use a 1024-bit modulus so the suite stays fast; the benchmark
+// harness uses the paper's 3072-bit level.
+const testBits = 1024
+
+var (
+	rsaOnce   sync.Once
+	rsaPK     *PublicKey
+	rsaShares []*KeyShare
+	rsaErr    error
+)
+
+func fixture(t *testing.T) (*PublicKey, []*KeyShare) {
+	t.Helper()
+	rsaOnce.Do(func() {
+		rsaPK, rsaShares, rsaErr = Deal(testBits, 5, 2, rand.Reader)
+	})
+	if rsaErr != nil {
+		t.Fatalf("Deal: %v", rsaErr)
+	}
+	return rsaPK, rsaShares
+}
+
+func TestEndToEnd(t *testing.T) {
+	pk, shares := fixture(t)
+	msg := []byte("Shoup threshold RSA baseline")
+	var parts []*PartialSignature
+	for _, i := range []int{1, 3, 5} {
+		ps, err := ShareSign(pk, shares[i], msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ps)
+	}
+	sig, err := Combine(pk, msg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(pk, msg, sig) {
+		t.Fatal("combined RSA signature rejected")
+	}
+	if Verify(pk, []byte("other"), sig) {
+		t.Fatal("verified wrong message")
+	}
+}
+
+func TestAnySubsetGivesSameSignature(t *testing.T) {
+	// RSA-FDH is deterministic: every qualified subset produces the same x.
+	pk, shares := fixture(t)
+	msg := []byte("determinism")
+	var ref *Signature
+	for _, subset := range [][]int{{1, 2, 3}, {2, 4, 5}, {1, 3, 5}} {
+		var parts []*PartialSignature
+		for _, i := range subset {
+			ps, err := ShareSign(pk, shares[i], msg, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, ps)
+		}
+		sig, err := Combine(pk, msg, parts)
+		if err != nil {
+			t.Fatalf("subset %v: %v", subset, err)
+		}
+		if ref == nil {
+			ref = sig
+			continue
+		}
+		if sig.X.Cmp(ref.X) != 0 {
+			t.Fatalf("subset %v produced a different signature", subset)
+		}
+	}
+}
+
+func TestDLEQShareVerification(t *testing.T) {
+	pk, shares := fixture(t)
+	msg := []byte("share proofs")
+	ps, err := ShareSign(pk, shares[2], msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ShareVerify(pk, msg, ps) {
+		t.Fatal("valid share proof rejected")
+	}
+	// Claiming another index must fail (the proof binds VK[i]).
+	forged := &PartialSignature{Index: 3, X: ps.X, C: ps.C, Z: ps.Z}
+	if ShareVerify(pk, msg, forged) {
+		t.Fatal("proof transferred to another index")
+	}
+	// Tampered share value must fail.
+	bad := &PartialSignature{Index: 2, X: new(big.Int).Add(ps.X, big.NewInt(1)), C: ps.C, Z: ps.Z}
+	if ShareVerify(pk, msg, bad) {
+		t.Fatal("tampered share accepted")
+	}
+	if ShareVerify(pk, msg, nil) {
+		t.Fatal("nil share accepted")
+	}
+	if ShareVerify(pk, msg, &PartialSignature{Index: 99, X: ps.X, C: ps.C, Z: ps.Z}) {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestCombineRobustness(t *testing.T) {
+	pk, shares := fixture(t)
+	msg := []byte("robust RSA")
+	var parts []*PartialSignature
+	// A garbage share with a bogus proof plus three good ones.
+	parts = append(parts, &PartialSignature{
+		Index: 1, X: big.NewInt(12345), C: big.NewInt(1), Z: big.NewInt(2),
+	})
+	for _, i := range []int{2, 3, 4} {
+		ps, err := ShareSign(pk, shares[i], msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ps)
+	}
+	sig, err := Combine(pk, msg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(pk, msg, sig) {
+		t.Fatal("robust combine failed")
+	}
+	// Below threshold fails.
+	if _, err := Combine(pk, msg, parts[:3]); err == nil {
+		t.Fatal("combined below threshold (one junk + two good)")
+	}
+}
+
+func TestSignatureSizeMatchesPaperFigure(t *testing.T) {
+	pk, shares := fixture(t)
+	msg := []byte("size")
+	var parts []*PartialSignature
+	for _, i := range []int{1, 2, 3} {
+		ps, err := ShareSign(pk, shares[i], msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ps)
+	}
+	sig, err := Combine(pk, msg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sig.Marshal(pk)) * 8; got != testBits {
+		t.Fatalf("signature is %d bits, want %d (modulus size)", got, testBits)
+	}
+	// Share storage is one exponent-size integer: O(1) in n (the paper's
+	// contrast is with the O(n) ADN layout, not with Shoup).
+	if got := shares[1].SizeBytes(); got > testBits/8 {
+		t.Fatalf("share unexpectedly large: %d bytes", got)
+	}
+}
+
+func TestLagrangeIntIsIntegral(t *testing.T) {
+	delta := factorial(7)
+	lam, err := lagrangeInt(delta, []int{1, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum_j lambda_j * f(j) = Delta * f(0) for constant f: sum = Delta.
+	sum := new(big.Int)
+	for _, l := range lam {
+		sum.Add(sum, l)
+	}
+	if sum.Cmp(delta) != 0 {
+		t.Fatalf("sum of integral Lagrange coefficients = %s, want %s", sum, delta)
+	}
+}
+
+func TestDealValidation(t *testing.T) {
+	if _, _, err := Deal(512, 1, 1, rand.Reader); err == nil {
+		t.Fatal("accepted n < t+1")
+	}
+}

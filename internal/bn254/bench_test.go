@@ -1,0 +1,174 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// Ablation benchmarks for the design choices documented in DESIGN.md:
+// Jacobian windowed ladders vs affine double-and-add, sparse line
+// multiplication vs generic fp12 multiplication, the Fuentes-Castaneda
+// hard part vs the naive square-and-multiply exponent, and Granger-Scott
+// cyclotomic squaring vs generic squaring.
+
+func benchScalar(b *testing.B) *big.Int {
+	b.Helper()
+	k, err := RandScalar(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func BenchmarkAblationScalarMult(b *testing.B) {
+	k := benchScalar(b)
+	p := G1Generator()
+	q := G2Generator()
+	b.Run("G1/jacobian-window", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scalarMultJacG1(p, k)
+		}
+	})
+	b.Run("G1/affine-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scalarMultAffineG1(p, k)
+		}
+	})
+	b.Run("G2/jacobian-window", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scalarMultJacG2(q, k)
+		}
+	})
+	b.Run("G2/affine-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scalarMultAffineG2(q, k)
+		}
+	})
+}
+
+func BenchmarkAblationLineMul(b *testing.B) {
+	// A representative accumulated Miller value and line.
+	var f fp12
+	for k := 0; k < 6; k++ {
+		k0, _ := rand.Int(rand.Reader, P)
+		k1, _ := rand.Int(rand.Reader, P)
+		f.flatGet(k).c0.SetBig(k0)
+		f.flatGet(k).c1.SetBig(k1)
+	}
+	var l lineEval
+	k0, _ := rand.Int(rand.Reader, P)
+	l.a0.SetBig(k0)
+	k1, _ := rand.Int(rand.Reader, P)
+	l.a1.c0.SetBig(k1)
+	l.a3.c1.SetBig(k1)
+
+	b.Run("sparse", func(b *testing.B) {
+		g := new(fp12).Set(&f)
+		for i := 0; i < b.N; i++ {
+			mulByLine(g, &l)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		g := new(fp12).Set(&f)
+		var lf fp12
+		for i := 0; i < b.N; i++ {
+			l.asFp12(&lf)
+			g.Mul(g, &lf)
+		}
+	})
+}
+
+func BenchmarkAblationFinalExp(b *testing.B) {
+	var f fp12
+	f.SetOne()
+	miller(G1Generator(), G2Generator(), &f)
+	b.Run("fuentes-castaneda", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			finalExponentiation(&f)
+		}
+	})
+	b.Run("naive-exponent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			finalExponentiationNaive(&f)
+		}
+	})
+}
+
+func BenchmarkAblationCyclotomicSquare(b *testing.B) {
+	e := Pair(G1Generator(), G2Generator())
+	b.Run("granger-scott", func(b *testing.B) {
+		x := new(fp12).Set(&e.v)
+		for i := 0; i < b.N; i++ {
+			x.cyclotomicSquare(x)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		x := new(fp12).Set(&e.v)
+		for i := 0; i < b.N; i++ {
+			x.Square(x)
+		}
+	})
+}
+
+func BenchmarkMillerLoop(b *testing.B) {
+	p := G1Generator()
+	q := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var f fp12
+		f.SetOne()
+		miller(p, q, &f)
+	}
+}
+
+func BenchmarkFinalExponentiation(b *testing.B) {
+	var f fp12
+	f.SetOne()
+	miller(G1Generator(), G2Generator(), &f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalExponentiation(&f)
+	}
+}
+
+func BenchmarkFp12Mul(b *testing.B) {
+	e := Pair(G1Generator(), G2Generator())
+	x := new(fp12).Set(&e.v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(x, &e.v)
+	}
+}
+
+func BenchmarkFpInverse(b *testing.B) {
+	k, _ := rand.Int(rand.Reader, P)
+	var x fp
+	x.SetBig(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var inv fp
+		inv.Inverse(&x)
+	}
+}
+
+func BenchmarkAblationFixedBase(b *testing.B) {
+	g := G2Generator()
+	h := HashToG2("bench/fixedbase", nil)
+	fg := NewFixedBaseG2(g)
+	fh := NewFixedBaseG2(h)
+	a := benchScalar(b)
+	c := benchScalar(b)
+	b.Run("commit/fixed-base-tables", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CommitG2(fg, fh, a, c)
+		}
+	})
+	b.Run("commit/strauss-multiscalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MultiScalarMultG2([]*G2{g, h}, []*big.Int{a, c}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,202 @@
+// Package bn254 implements the Barreto-Naehrig pairing-friendly elliptic
+// curve commonly known as BN254 (alt_bn128), entirely from the Go standard
+// library. It provides the groups G1, G2, GT of prime order Order, the
+// optimal ate pairing e: G1 x G2 -> GT, multi-pairings that share a final
+// exponentiation, and hash-to-group maps.
+//
+// The curve is defined by the BN parameter u = 4965661367192848881:
+//
+//	p = 36u^4 + 36u^3 + 24u^2 + 6u + 1   (field modulus, 254 bits)
+//	r = 36u^4 + 36u^3 + 18u^2 + 6u + 1   (group order, 254 bits)
+//
+// G1 is E(Fp): y^2 = x^3 + 3. G2 is the D-type sextic twist E'(Fp2):
+// y^2 = x^3 + 3/xi with xi = 9 + i, Fp2 = Fp[i]/(i^2+1). GT is the order-r
+// subgroup of Fp12*.
+//
+// Every derived constant (Frobenius coefficients, twist cofactor, final
+// exponentiation exponents, the G2 generator) is computed at package init
+// from u alone, so there are no long magic constants to mistype. The
+// implementation favours auditability over raw speed: field arithmetic uses
+// math/big, mirroring the original golang.org/x/crypto/bn256 design.
+package bn254
+
+import (
+	"math/big"
+)
+
+var (
+	// u is the BN parameter.
+	u = new(big.Int).SetUint64(4965661367192848881)
+
+	// P is the prime modulus of the base field Fp.
+	P *big.Int
+
+	// Order is the prime order r of G1, G2 and GT.
+	Order *big.Int
+
+	// sixUPlus2 is the Miller loop length of the optimal ate pairing.
+	sixUPlus2 *big.Int
+
+	// twistCofactor is #E'(Fp2)/r = 2p - r = p - 1 + t.
+	twistCofactor *big.Int
+
+	// hardExponent is (p^4 - p^2 + 1)/r, the exponent of the "hard part"
+	// of the final exponentiation, used by the naive reference
+	// implementation that cross-checks the optimized one.
+	hardExponent *big.Int
+
+	// pSquared is p^2, used by Fp2 exponentiation helpers.
+	pSquared *big.Int
+)
+
+var (
+	// xi = 9 + i, the quadratic/cubic non-residue in Fp2 defining the
+	// towers Fp6 = Fp2[v]/(v^3 - xi) and Fp12 = Fp6[w]/(w^2 - v).
+	xi fp2
+
+	// bG1 = 3, the constant of E(Fp).
+	bG1 fp
+
+	// bTwist = 3/xi, the constant of the sextic twist E'(Fp2).
+	bTwist fp2
+
+	// frobGamma[k] = xi^(k(p-1)/6) for k = 0..5: the coefficients of the
+	// Frobenius endomorphism on Fp12 in the flat w-power basis.
+	frobGamma [6]fp2
+
+	// xiToPMinus1Over3 and xiToPMinus1Over2 define the "untwist-Frobenius-
+	// twist" endomorphism pi on E'(Fp2): pi(x, y) = (conj(x)*xiToPMinus1Over3,
+	// conj(y)*xiToPMinus1Over2).
+	xiToPMinus1Over3 fp2
+	xiToPMinus1Over2 fp2
+)
+
+var (
+	g1Gen *G1
+	g2Gen *G2
+	gtGen *GT
+)
+
+func init() {
+	initScalars()
+	initTowerConstants()
+	initGenerators()
+}
+
+// initScalars derives p, r and the pairing exponents from u.
+func initScalars() {
+	one := big.NewInt(1)
+	u2 := new(big.Int).Mul(u, u)
+	u3 := new(big.Int).Mul(u2, u)
+	u4 := new(big.Int).Mul(u3, u)
+
+	// p = 36u^4 + 36u^3 + 24u^2 + 6u + 1
+	P = new(big.Int).Mul(u4, big.NewInt(36))
+	P.Add(P, new(big.Int).Mul(u3, big.NewInt(36)))
+	P.Add(P, new(big.Int).Mul(u2, big.NewInt(24)))
+	P.Add(P, new(big.Int).Mul(u, big.NewInt(6)))
+	P.Add(P, one)
+
+	// r = 36u^4 + 36u^3 + 18u^2 + 6u + 1
+	Order = new(big.Int).Mul(u4, big.NewInt(36))
+	Order.Add(Order, new(big.Int).Mul(u3, big.NewInt(36)))
+	Order.Add(Order, new(big.Int).Mul(u2, big.NewInt(18)))
+	Order.Add(Order, new(big.Int).Mul(u, big.NewInt(6)))
+	Order.Add(Order, one)
+
+	if !P.ProbablyPrime(64) || !Order.ProbablyPrime(64) {
+		panic("bn254: derived parameters are not prime")
+	}
+
+	sixUPlus2 = new(big.Int).Mul(u, big.NewInt(6))
+	sixUPlus2.Add(sixUPlus2, big.NewInt(2))
+
+	// #E'(Fp2) = r * (2p - r), so the twist cofactor is 2p - r.
+	twistCofactor = new(big.Int).Lsh(P, 1)
+	twistCofactor.Sub(twistCofactor, Order)
+
+	pSquared = new(big.Int).Mul(P, P)
+
+	// hardExponent = (p^4 - p^2 + 1)/r.
+	p4 := new(big.Int).Mul(pSquared, pSquared)
+	hardExponent = new(big.Int).Sub(p4, pSquared)
+	hardExponent.Add(hardExponent, one)
+	var rem big.Int
+	hardExponent.QuoRem(hardExponent, Order, &rem)
+	if rem.Sign() != 0 {
+		panic("bn254: (p^4-p^2+1) not divisible by r")
+	}
+}
+
+// initTowerConstants computes the non-residue, twist constant and all
+// Frobenius coefficients.
+func initTowerConstants() {
+	xi.c0.SetInt64(9)
+	xi.c1.SetInt64(1)
+
+	bG1.SetInt64(3)
+
+	var xiInv fp2
+	xiInv.Inverse(&xi)
+	var three fp2
+	three.c0.SetInt64(3)
+	bTwist.Mul(&three, &xiInv)
+
+	// frobGamma[k] = xi^(k(p-1)/6).
+	exp := new(big.Int).Sub(P, big.NewInt(1))
+	exp.Div(exp, big.NewInt(6))
+	var g1 fp2
+	g1.Exp(&xi, exp)
+	frobGamma[0].SetOne()
+	for k := 1; k < 6; k++ {
+		frobGamma[k].Mul(&frobGamma[k-1], &g1)
+	}
+
+	// xi^((p-1)/3) = gamma^2, xi^((p-1)/2) = gamma^3.
+	xiToPMinus1Over3.Set(&frobGamma[2])
+	xiToPMinus1Over2.Set(&frobGamma[3])
+}
+
+// initGenerators fixes the conventional G1 generator (1, 2), derives a G2
+// generator deterministically by hashing to the twist and clearing the
+// cofactor, and computes the GT generator as their pairing.
+func initGenerators() {
+	g1Gen = &G1{notInf: true}
+	g1Gen.x.SetInt64(1)
+	g1Gen.y.SetInt64(2)
+	if !g1Gen.isOnCurve() {
+		panic("bn254: (1,2) is not on E(Fp)")
+	}
+	var chk G1
+	chk.ScalarMult(g1Gen, Order)
+	if !chk.IsInfinity() {
+		panic("bn254: G1 generator does not have order r")
+	}
+	if chk.Double(g1Gen); chk.IsInfinity() {
+		panic("bn254: G1 generator degenerate")
+	}
+
+	g2Gen = hashToG2Internal("BN254-G2-GENERATOR", []byte("v1"))
+	if g2Gen.IsInfinity() {
+		panic("bn254: failed to derive G2 generator")
+	}
+	var chk2 G2
+	chk2.ScalarMult(g2Gen, Order)
+	if !chk2.IsInfinity() {
+		panic("bn254: G2 generator does not have order r")
+	}
+
+	gtGen = Pair(g1Gen, g2Gen)
+	if gtGen.IsOne() {
+		panic("bn254: pairing of generators is degenerate")
+	}
+}
+
+// G1Generator returns a copy of the fixed generator of G1.
+func G1Generator() *G1 { return new(G1).Set(g1Gen) }
+
+// G2Generator returns a copy of the fixed generator of G2.
+func G2Generator() *G2 { return new(G2).Set(g2Gen) }
+
+// GTGenerator returns a copy of e(G1Generator, G2Generator).
+func GTGenerator() *GT { return new(GT).Set(gtGen) }

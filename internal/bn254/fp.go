@@ -1,0 +1,146 @@
+package bn254
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// fp is an element of the prime field Fp. The zero value is the field's
+// zero element. All methods keep the invariant 0 <= v < P and follow the
+// math/big convention: the receiver is the destination and is returned.
+type fp struct {
+	v big.Int
+}
+
+func (z *fp) Set(x *fp) *fp {
+	z.v.Set(&x.v)
+	return z
+}
+
+func (z *fp) SetInt64(x int64) *fp {
+	z.v.SetInt64(x)
+	z.v.Mod(&z.v, P)
+	return z
+}
+
+// SetBig reduces x modulo p.
+func (z *fp) SetBig(x *big.Int) *fp {
+	z.v.Mod(x, P)
+	return z
+}
+
+func (z *fp) SetZero() *fp {
+	z.v.SetInt64(0)
+	return z
+}
+
+func (z *fp) SetOne() *fp {
+	z.v.SetInt64(1)
+	return z
+}
+
+func (z *fp) IsZero() bool { return z.v.Sign() == 0 }
+
+func (z *fp) Equal(x *fp) bool { return z.v.Cmp(&x.v) == 0 }
+
+func (z *fp) Add(x, y *fp) *fp {
+	z.v.Add(&x.v, &y.v)
+	if z.v.Cmp(P) >= 0 {
+		z.v.Sub(&z.v, P)
+	}
+	return z
+}
+
+func (z *fp) Double(x *fp) *fp { return z.Add(x, x) }
+
+func (z *fp) Sub(x, y *fp) *fp {
+	z.v.Sub(&x.v, &y.v)
+	if z.v.Sign() < 0 {
+		z.v.Add(&z.v, P)
+	}
+	return z
+}
+
+func (z *fp) Neg(x *fp) *fp {
+	if x.v.Sign() == 0 {
+		z.v.SetInt64(0)
+		return z
+	}
+	z.v.Sub(P, &x.v)
+	return z
+}
+
+func (z *fp) Mul(x, y *fp) *fp {
+	z.v.Mul(&x.v, &y.v)
+	z.v.Mod(&z.v, P)
+	return z
+}
+
+func (z *fp) Square(x *fp) *fp { return z.Mul(x, x) }
+
+// MulInt64 sets z = x*c for a small constant c.
+func (z *fp) MulInt64(x *fp, c int64) *fp {
+	var t big.Int
+	t.SetInt64(c)
+	z.v.Mul(&x.v, &t)
+	z.v.Mod(&z.v, P)
+	return z
+}
+
+// Inverse sets z = x^-1. Inverting zero yields zero, matching the
+// convention of math/big's ModInverse for callers that pre-check.
+func (z *fp) Inverse(x *fp) *fp {
+	if x.v.Sign() == 0 {
+		z.v.SetInt64(0)
+		return z
+	}
+	z.v.ModInverse(&x.v, P)
+	return z
+}
+
+// Exp sets z = x^e for a non-negative exponent e.
+func (z *fp) Exp(x *fp, e *big.Int) *fp {
+	z.v.Exp(&x.v, e, P)
+	return z
+}
+
+// Sqrt sets z to a square root of x and reports whether one exists.
+func (z *fp) Sqrt(x *fp) bool {
+	var t big.Int
+	if t.ModSqrt(&x.v, P) == nil {
+		return false
+	}
+	z.v.Set(&t)
+	return true
+}
+
+// Legendre reports whether x is a quadratic residue (including zero).
+func (z *fp) isSquare() bool {
+	if z.v.Sign() == 0 {
+		return true
+	}
+	var e, t big.Int
+	e.Sub(P, big.NewInt(1))
+	e.Rsh(&e, 1)
+	t.Exp(&z.v, &e, P)
+	return t.Cmp(big.NewInt(1)) == 0
+}
+
+// Bytes returns the 32-byte big-endian encoding of z.
+func (z *fp) Bytes() [32]byte {
+	var out [32]byte
+	z.v.FillBytes(out[:])
+	return out
+}
+
+// SetBytes interprets in as a big-endian integer and reports whether it is
+// a canonical (fully reduced) field element.
+func (z *fp) SetBytes(in []byte) bool {
+	z.v.SetBytes(in)
+	return z.v.Cmp(P) < 0
+}
+
+func (z *fp) String() string { return fmt.Sprintf("0x%x", &z.v) }
+
+// cmp compares z and x as integers in [0, p).
+func (z *fp) cmp(x *fp) int { return z.v.Cmp(&x.v) }

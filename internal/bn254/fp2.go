@@ -1,0 +1,228 @@
+package bn254
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// fp2 is an element c0 + c1*i of Fp2 = Fp[i]/(i^2 + 1). The zero value is
+// the field's zero element.
+type fp2 struct {
+	c0, c1 fp
+}
+
+func (z *fp2) Set(x *fp2) *fp2 {
+	z.c0.Set(&x.c0)
+	z.c1.Set(&x.c1)
+	return z
+}
+
+func (z *fp2) SetZero() *fp2 {
+	z.c0.SetZero()
+	z.c1.SetZero()
+	return z
+}
+
+func (z *fp2) SetOne() *fp2 {
+	z.c0.SetOne()
+	z.c1.SetZero()
+	return z
+}
+
+// SetFp embeds an Fp element into Fp2.
+func (z *fp2) SetFp(x *fp) *fp2 {
+	z.c0.Set(x)
+	z.c1.SetZero()
+	return z
+}
+
+func (z *fp2) IsZero() bool { return z.c0.IsZero() && z.c1.IsZero() }
+
+func (z *fp2) IsOne() bool {
+	var one fp
+	one.SetOne()
+	return z.c0.Equal(&one) && z.c1.IsZero()
+}
+
+func (z *fp2) Equal(x *fp2) bool { return z.c0.Equal(&x.c0) && z.c1.Equal(&x.c1) }
+
+func (z *fp2) Add(x, y *fp2) *fp2 {
+	z.c0.Add(&x.c0, &y.c0)
+	z.c1.Add(&x.c1, &y.c1)
+	return z
+}
+
+func (z *fp2) Double(x *fp2) *fp2 { return z.Add(x, x) }
+
+func (z *fp2) Sub(x, y *fp2) *fp2 {
+	z.c0.Sub(&x.c0, &y.c0)
+	z.c1.Sub(&x.c1, &y.c1)
+	return z
+}
+
+func (z *fp2) Neg(x *fp2) *fp2 {
+	z.c0.Neg(&x.c0)
+	z.c1.Neg(&x.c1)
+	return z
+}
+
+// Conjugate sets z = c0 - c1*i, which is x^p.
+func (z *fp2) Conjugate(x *fp2) *fp2 {
+	z.c0.Set(&x.c0)
+	z.c1.Neg(&x.c1)
+	return z
+}
+
+func (z *fp2) Mul(x, y *fp2) *fp2 {
+	// (a + bi)(c + di) = (ac - bd) + (ad + bc)i, via Karatsuba:
+	// ad + bc = (a+b)(c+d) - ac - bd.
+	var ac, bd, apb, cpd fp
+	ac.Mul(&x.c0, &y.c0)
+	bd.Mul(&x.c1, &y.c1)
+	apb.Add(&x.c0, &x.c1)
+	cpd.Add(&y.c0, &y.c1)
+	var t fp
+	t.Mul(&apb, &cpd)
+	t.Sub(&t, &ac)
+	t.Sub(&t, &bd)
+	z.c0.Sub(&ac, &bd)
+	z.c1.Set(&t)
+	return z
+}
+
+func (z *fp2) Square(x *fp2) *fp2 {
+	// (a + bi)^2 = (a+b)(a-b) + 2ab*i.
+	var apb, amb, ab fp
+	apb.Add(&x.c0, &x.c1)
+	amb.Sub(&x.c0, &x.c1)
+	ab.Mul(&x.c0, &x.c1)
+	z.c0.Mul(&apb, &amb)
+	z.c1.Double(&ab)
+	return z
+}
+
+// MulFp sets z = x * s for a base-field scalar s.
+func (z *fp2) MulFp(x *fp2, s *fp) *fp2 {
+	z.c0.Mul(&x.c0, s)
+	z.c1.Mul(&x.c1, s)
+	return z
+}
+
+// MulXi sets z = x * xi where xi = 9 + i.
+func (z *fp2) MulXi(x *fp2) *fp2 {
+	// (a + bi)(9 + i) = (9a - b) + (a + 9b)i.
+	var nineA, nineB, t0, t1 fp
+	nineA.MulInt64(&x.c0, 9)
+	nineB.MulInt64(&x.c1, 9)
+	t0.Sub(&nineA, &x.c1)
+	t1.Add(&x.c0, &nineB)
+	z.c0.Set(&t0)
+	z.c1.Set(&t1)
+	return z
+}
+
+func (z *fp2) Inverse(x *fp2) *fp2 {
+	// (a + bi)^-1 = (a - bi)/(a^2 + b^2).
+	var a2, b2, norm, inv fp
+	a2.Square(&x.c0)
+	b2.Square(&x.c1)
+	norm.Add(&a2, &b2)
+	inv.Inverse(&norm)
+	z.c0.Mul(&x.c0, &inv)
+	var t fp
+	t.Neg(&x.c1)
+	z.c1.Mul(&t, &inv)
+	return z
+}
+
+// Exp sets z = x^e for a non-negative exponent e by square-and-multiply.
+func (z *fp2) Exp(x *fp2, e *big.Int) *fp2 {
+	var acc fp2
+	acc.SetOne()
+	var base fp2
+	base.Set(x)
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if e.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	return z.Set(&acc)
+}
+
+// isSquare reports whether x is a square in Fp2, via the norm map: x is a
+// square iff its norm a^2 + b^2 is a square in Fp.
+func (z *fp2) isSquare() bool {
+	var a2, b2, norm fp
+	a2.Square(&z.c0)
+	b2.Square(&z.c1)
+	norm.Add(&a2, &b2)
+	return norm.isSquare()
+}
+
+// Sqrt sets z to a square root of x and reports whether one exists. It uses
+// the complex method: with s = sqrt(a^2+b^2), a root is re + im*i where
+// re = sqrt((a+s)/2) (or (a-s)/2) and im = b/(2 re).
+func (z *fp2) Sqrt(x *fp2) bool {
+	if x.IsZero() {
+		z.SetZero()
+		return true
+	}
+	if x.c1.IsZero() {
+		// x = a: either sqrt(a) in Fp, or sqrt(-a)*i.
+		var r fp
+		if r.Sqrt(&x.c0) {
+			z.c0.Set(&r)
+			z.c1.SetZero()
+			return true
+		}
+		var na fp
+		na.Neg(&x.c0)
+		if r.Sqrt(&na) {
+			z.c0.SetZero()
+			z.c1.Set(&r)
+			return true
+		}
+		return false
+	}
+	var a2, b2, norm, s fp
+	a2.Square(&x.c0)
+	b2.Square(&x.c1)
+	norm.Add(&a2, &b2)
+	if !s.Sqrt(&norm) {
+		return false
+	}
+	var half, t, re fp
+	half.SetInt64(2)
+	half.Inverse(&half)
+	t.Add(&x.c0, &s)
+	t.Mul(&t, &half)
+	if !t.isSquare() {
+		t.Sub(&x.c0, &s)
+		t.Mul(&t, &half)
+	}
+	if !re.Sqrt(&t) {
+		return false
+	}
+	var twoRe, inv, im fp
+	twoRe.Double(&re)
+	inv.Inverse(&twoRe)
+	im.Mul(&x.c1, &inv)
+	z.c0.Set(&re)
+	z.c1.Set(&im)
+	// Double-check by squaring: guards against the degenerate re = 0 case.
+	var chk fp2
+	chk.Square(z)
+	return chk.Equal(x)
+}
+
+// cmp orders Fp2 elements lexicographically by (c1, c0), used to define a
+// canonical sign for point compression.
+func (z *fp2) cmp(x *fp2) int {
+	if c := z.c1.cmp(&x.c1); c != 0 {
+		return c
+	}
+	return z.c0.cmp(&x.c0)
+}
+
+func (z *fp2) String() string { return fmt.Sprintf("(%s, %s)", &z.c0, &z.c1) }

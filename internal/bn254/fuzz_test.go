@@ -1,0 +1,96 @@
+package bn254
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Robustness tests: decoding must never panic and must reject malformed
+// inputs, for adversarially chosen byte strings. A deterministic PRNG
+// makes failures reproducible.
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lengths := []int{0, 1, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129, 383, 384, 385}
+	for trial := 0; trial < 300; trial++ {
+		n := lengths[rng.Intn(len(lengths))]
+		data := randBytes(rng, n)
+		// Occasionally set the flag bits to hit those branches.
+		if n > 0 && rng.Intn(3) == 0 {
+			data[0] |= byte(rng.Intn(4)) << 6
+		}
+		var g1 G1
+		_ = g1.Unmarshal(data)
+		_ = g1.UnmarshalCompressed(data)
+		var g2 G2
+		_ = g2.Unmarshal(data)
+		_ = g2.UnmarshalCompressed(data)
+		_ = g2.UnmarshalUnchecked(data)
+		var gt GT
+		_ = gt.Unmarshal(data)
+	}
+}
+
+func TestUnmarshalRejectsNonCanonical(t *testing.T) {
+	// A coordinate >= p must be rejected even if the reduced value would
+	// be on the curve (non-canonical encodings break signature uniqueness).
+	p := G1Generator()
+	raw := p.Marshal()
+	// Add p to the x coordinate: same residue, different bytes.
+	over := new(G1)
+	bad := make([]byte, len(raw))
+	copy(bad, raw)
+	x := P.Bytes()
+	carry := 0
+	for i := 31; i >= 0; i-- {
+		v := int(bad[i]) + int(x[i]) + carry
+		bad[i] = byte(v)
+		carry = v >> 8
+	}
+	if carry == 0 { // no overflow out of 256 bits: encoding is parseable
+		if err := over.Unmarshal(bad); err == nil {
+			t.Fatal("accepted a non-canonical x coordinate")
+		}
+	}
+}
+
+func TestCompressedRejectsNonResidueX(t *testing.T) {
+	// Find an x with no point on the curve and check rejection.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		data := randBytes(rng, G1SizeCompressed)
+		data[0] &^= 0xC0 // clear flags
+		var g G1
+		if err := g.UnmarshalCompressed(data); err == nil {
+			// Fine — by chance x was on the curve; the point must be valid.
+			if !g.isOnCurve() {
+				t.Fatal("decoded an off-curve point")
+			}
+		}
+	}
+}
+
+func TestG2UncheckedStillValidatesCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	accepted := 0
+	for trial := 0; trial < 30; trial++ {
+		data := randBytes(rng, G2SizeUncompressed)
+		data[0] &^= 0xC0
+		var g G2
+		if err := g.UnmarshalUnchecked(data); err == nil {
+			accepted++
+			if !g.isOnTwist() {
+				t.Fatal("UnmarshalUnchecked accepted an off-twist point")
+			}
+		}
+	}
+	if accepted > 0 {
+		t.Fatalf("random bytes decoded as twist points %d times (p ~ 2^-254 each)", accepted)
+	}
+}

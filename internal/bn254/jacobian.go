@@ -1,0 +1,362 @@
+package bn254
+
+import "math/big"
+
+// Jacobian-coordinate point arithmetic for scalar multiplication. The
+// public G1/G2 types stay affine (simple, canonical equality and
+// serialization); ScalarMult internally converts to Jacobian projective
+// coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3, performs an
+// inversion-free 4-bit fixed-window ladder, and converts back with a
+// single field inversion. The affine Add/Double remain as the readable
+// reference implementation and are cross-checked against this path in
+// tests and in the BenchmarkAblationScalarMult ablation.
+//
+// Formulas (curves with a = 0): doubling dbl-2009-l, mixed addition
+// madd-2007-bl from the Explicit-Formulas Database.
+
+// jacG1 is a G1 point in Jacobian coordinates. Z = 0 encodes infinity.
+type jacG1 struct {
+	x, y, z fp
+}
+
+func (j *jacG1) fromAffine(a *G1) *jacG1 {
+	if a.IsInfinity() {
+		j.x.SetOne()
+		j.y.SetOne()
+		j.z.SetZero()
+		return j
+	}
+	j.x.Set(&a.x)
+	j.y.Set(&a.y)
+	j.z.SetOne()
+	return j
+}
+
+func (j *jacG1) toAffine(out *G1) *G1 {
+	if j.z.IsZero() {
+		return out.SetInfinity()
+	}
+	var zinv, zinv2, zinv3 fp
+	zinv.Inverse(&j.z)
+	zinv2.Square(&zinv)
+	zinv3.Mul(&zinv2, &zinv)
+	out.x.Mul(&j.x, &zinv2)
+	out.y.Mul(&j.y, &zinv3)
+	out.notInf = true
+	return out
+}
+
+// double sets j = 2a (a may alias j).
+func (j *jacG1) double(a *jacG1) *jacG1 {
+	if a.z.IsZero() {
+		j.z.SetZero()
+		return j
+	}
+	// A = X^2, B = Y^2, C = B^2
+	var A, B, C fp
+	A.Square(&a.x)
+	B.Square(&a.y)
+	C.Square(&B)
+	// D = 2*((X+B)^2 - A - C)
+	var D, t fp
+	t.Add(&a.x, &B)
+	t.Square(&t)
+	t.Sub(&t, &A)
+	t.Sub(&t, &C)
+	D.Double(&t)
+	// E = 3*A, F = E^2
+	var E, F fp
+	E.MulInt64(&A, 3)
+	F.Square(&E)
+	// X3 = F - 2*D
+	var x3 fp
+	x3.Sub(&F, &D)
+	x3.Sub(&x3, &D)
+	// Y3 = E*(D - X3) - 8*C
+	var y3, c8 fp
+	y3.Sub(&D, &x3)
+	y3.Mul(&y3, &E)
+	c8.MulInt64(&C, 8)
+	y3.Sub(&y3, &c8)
+	// Z3 = 2*Y*Z
+	var z3 fp
+	z3.Mul(&a.y, &a.z)
+	z3.Double(&z3)
+
+	j.x.Set(&x3)
+	j.y.Set(&y3)
+	j.z.Set(&z3)
+	return j
+}
+
+// addMixed sets j = a + b for an affine b (b must be finite; a may alias j).
+func (j *jacG1) addMixed(a *jacG1, b *G1) *jacG1 {
+	if a.z.IsZero() {
+		return j.fromAffine(b)
+	}
+	// Z1Z1 = Z1^2, U2 = X2*Z1Z1, S2 = Y2*Z1*Z1Z1
+	var z1z1, u2, s2 fp
+	z1z1.Square(&a.z)
+	u2.Mul(&b.x, &z1z1)
+	s2.Mul(&b.y, &a.z)
+	s2.Mul(&s2, &z1z1)
+	// H = U2 - X1, r = 2*(S2 - Y1)
+	var h, r fp
+	h.Sub(&u2, &a.x)
+	r.Sub(&s2, &a.y)
+	r.Double(&r)
+	if h.IsZero() {
+		if r.IsZero() {
+			return j.double(a)
+		}
+		j.z.SetZero()
+		return j
+	}
+	// HH = H^2, I = 4*HH, J = H*I, V = X1*I
+	var hh, i4, jj, v fp
+	hh.Square(&h)
+	i4.MulInt64(&hh, 4)
+	jj.Mul(&h, &i4)
+	v.Mul(&a.x, &i4)
+	// X3 = r^2 - J - 2*V
+	var x3 fp
+	x3.Square(&r)
+	x3.Sub(&x3, &jj)
+	x3.Sub(&x3, &v)
+	x3.Sub(&x3, &v)
+	// Y3 = r*(V - X3) - 2*Y1*J
+	var y3, t fp
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &r)
+	t.Mul(&a.y, &jj)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
+	// Z3 = (Z1 + H)^2 - Z1Z1 - HH
+	var z3 fp
+	z3.Add(&a.z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+
+	j.x.Set(&x3)
+	j.y.Set(&y3)
+	j.z.Set(&z3)
+	return j
+}
+
+const windowBits = 4
+
+// scalarMultJacG1 computes k*a with a 4-bit fixed-window Jacobian ladder.
+// k must already be reduced to a non-negative value.
+func scalarMultJacG1(a *G1, k *big.Int) *G1 {
+	out := new(G1)
+	if a.IsInfinity() || k.Sign() == 0 {
+		return out
+	}
+	// Precompute odd and even multiples 1a..15a in affine form (cheap:
+	// 14 affine additions amortized over ~64 window additions).
+	var table [1 << windowBits]G1
+	table[1].Set(a)
+	for i := 2; i < len(table); i++ {
+		table[i].Add(&table[i-1], a)
+	}
+	var acc jacG1
+	acc.z.SetZero()
+	bits := k.BitLen()
+	// Round up to a whole number of windows.
+	top := (bits + windowBits - 1) / windowBits * windowBits
+	for w := top - windowBits; w >= 0; w -= windowBits {
+		if w != top-windowBits {
+			for d := 0; d < windowBits; d++ {
+				acc.double(&acc)
+			}
+		}
+		idx := 0
+		for d := windowBits - 1; d >= 0; d-- {
+			idx = idx<<1 | int(k.Bit(w+d))
+		}
+		if idx != 0 {
+			acc.addMixed(&acc, &table[idx])
+		}
+	}
+	return acc.toAffine(out)
+}
+
+// jacG2 mirrors jacG1 over Fp2.
+type jacG2 struct {
+	x, y, z fp2
+}
+
+func (j *jacG2) fromAffine(a *G2) *jacG2 {
+	if a.IsInfinity() {
+		j.x.SetOne()
+		j.y.SetOne()
+		j.z.SetZero()
+		return j
+	}
+	j.x.Set(&a.x)
+	j.y.Set(&a.y)
+	j.z.SetOne()
+	return j
+}
+
+func (j *jacG2) toAffine(out *G2) *G2 {
+	if j.z.IsZero() {
+		return out.SetInfinity()
+	}
+	var zinv, zinv2, zinv3 fp2
+	zinv.Inverse(&j.z)
+	zinv2.Square(&zinv)
+	zinv3.Mul(&zinv2, &zinv)
+	out.x.Mul(&j.x, &zinv2)
+	out.y.Mul(&j.y, &zinv3)
+	out.notInf = true
+	return out
+}
+
+func (j *jacG2) double(a *jacG2) *jacG2 {
+	if a.z.IsZero() {
+		j.z.SetZero()
+		return j
+	}
+	var A, B, C fp2
+	A.Square(&a.x)
+	B.Square(&a.y)
+	C.Square(&B)
+	var D, t fp2
+	t.Add(&a.x, &B)
+	t.Square(&t)
+	t.Sub(&t, &A)
+	t.Sub(&t, &C)
+	D.Double(&t)
+	var E, F fp2
+	var three fp
+	three.SetInt64(3)
+	E.MulFp(&A, &three)
+	F.Square(&E)
+	var x3 fp2
+	x3.Sub(&F, &D)
+	x3.Sub(&x3, &D)
+	var y3, c8 fp2
+	y3.Sub(&D, &x3)
+	y3.Mul(&y3, &E)
+	var eight fp
+	eight.SetInt64(8)
+	c8.MulFp(&C, &eight)
+	y3.Sub(&y3, &c8)
+	var z3 fp2
+	z3.Mul(&a.y, &a.z)
+	z3.Double(&z3)
+
+	j.x.Set(&x3)
+	j.y.Set(&y3)
+	j.z.Set(&z3)
+	return j
+}
+
+func (j *jacG2) addMixed(a *jacG2, b *G2) *jacG2 {
+	if a.z.IsZero() {
+		return j.fromAffine(b)
+	}
+	var z1z1, u2, s2 fp2
+	z1z1.Square(&a.z)
+	u2.Mul(&b.x, &z1z1)
+	s2.Mul(&b.y, &a.z)
+	s2.Mul(&s2, &z1z1)
+	var h, r fp2
+	h.Sub(&u2, &a.x)
+	r.Sub(&s2, &a.y)
+	r.Double(&r)
+	if h.IsZero() {
+		if r.IsZero() {
+			return j.double(a)
+		}
+		j.z.SetZero()
+		return j
+	}
+	var hh, i4, jj, v fp2
+	hh.Square(&h)
+	i4.Double(&hh)
+	i4.Double(&i4)
+	jj.Mul(&h, &i4)
+	v.Mul(&a.x, &i4)
+	var x3 fp2
+	x3.Square(&r)
+	x3.Sub(&x3, &jj)
+	x3.Sub(&x3, &v)
+	x3.Sub(&x3, &v)
+	var y3, t fp2
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &r)
+	t.Mul(&a.y, &jj)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
+	var z3 fp2
+	z3.Add(&a.z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+
+	j.x.Set(&x3)
+	j.y.Set(&y3)
+	j.z.Set(&z3)
+	return j
+}
+
+func scalarMultJacG2(a *G2, k *big.Int) *G2 {
+	out := new(G2)
+	if a.IsInfinity() || k.Sign() == 0 {
+		return out
+	}
+	var table [1 << windowBits]G2
+	table[1].Set(a)
+	for i := 2; i < len(table); i++ {
+		table[i].Add(&table[i-1], a)
+	}
+	var acc jacG2
+	acc.z.SetZero()
+	bits := k.BitLen()
+	top := (bits + windowBits - 1) / windowBits * windowBits
+	for w := top - windowBits; w >= 0; w -= windowBits {
+		if w != top-windowBits {
+			for d := 0; d < windowBits; d++ {
+				acc.double(&acc)
+			}
+		}
+		idx := 0
+		for d := windowBits - 1; d >= 0; d-- {
+			idx = idx<<1 | int(k.Bit(w+d))
+		}
+		if idx != 0 {
+			acc.addMixed(&acc, &table[idx])
+		}
+	}
+	return acc.toAffine(out)
+}
+
+// scalarMultAffineG1 is the binary double-and-add reference used by the
+// ablation benchmark and the cross-check tests.
+func scalarMultAffineG1(a *G1, k *big.Int) *G1 {
+	var acc, base G1
+	base.Set(a)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Double(&acc)
+		if k.Bit(i) == 1 {
+			acc.Add(&acc, &base)
+		}
+	}
+	return new(G1).Set(&acc)
+}
+
+// scalarMultAffineG2 mirrors scalarMultAffineG1 for G2.
+func scalarMultAffineG2(a *G2, k *big.Int) *G2 {
+	var acc, base G2
+	base.Set(a)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Double(&acc)
+		if k.Bit(i) == 1 {
+			acc.Add(&acc, &base)
+		}
+	}
+	return new(G2).Set(&acc)
+}

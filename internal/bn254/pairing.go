@@ -1,0 +1,357 @@
+package bn254
+
+import "errors"
+
+// This file implements the optimal ate pairing
+//
+//	e(P, Q) = f^((p^12-1)/r),  f = f_{6u+2,Q}(P) * l_{T,pi(Q)}(P) * l_{T',-pi^2(Q)}(P)
+//
+// with the Miller loop run in affine coordinates on the twist and line
+// functions evaluated as sparse Fp12 elements. For a twist point T = (x, y)
+// untwisted to (x w^2, y w^3), the line through psi(T) with twist-slope
+// lambda, evaluated at P = (xP, yP) in G1, is
+//
+//	l(P) = yP - lambda*xP * w + (lambda*x - y) * w^3
+//
+// i.e. sparse with coefficients at w^0 (in Fp), w^1 and w^3 (in Fp2).
+
+// lineEval holds a sparse line value.
+type lineEval struct {
+	a0 fp  // coefficient of w^0
+	a1 fp2 // coefficient of w^1
+	a3 fp2 // coefficient of w^3
+	// vertical lines have a different shape: xP - x*w^2.
+	vertical bool
+	v0       fp  // coefficient of w^0 for vertical lines
+	v2       fp2 // coefficient of w^2 for vertical lines
+}
+
+// asFp12 expands the sparse line into a full Fp12 element.
+func (l *lineEval) asFp12(out *fp12) {
+	out.SetZero()
+	if l.vertical {
+		out.c0.b0.SetFp(&l.v0) // w^0
+		out.c0.b1.Set(&l.v2)   // w^2
+		return
+	}
+	out.c0.b0.SetFp(&l.a0) // w^0
+	out.c1.b0.Set(&l.a1)   // w^1
+	out.c1.b1.Set(&l.a3)   // w^3
+}
+
+// mulSparse6 multiplies an fp6 element by the sparse polynomial
+// b0' + b1'*v (b2' = 0): six fp2 multiplications instead of the generic
+// Karatsuba path.
+func mulSparse6(out, c *fp6, b0, b1 *fp2) {
+	var z0, z1, z2, t fp2
+	// z0 = c0*b0 + xi*(c2*b1)
+	z0.Mul(&c.b0, b0)
+	t.Mul(&c.b2, b1)
+	t.MulXi(&t)
+	z0.Add(&z0, &t)
+	// z1 = c0*b1 + c1*b0
+	z1.Mul(&c.b0, b1)
+	t.Mul(&c.b1, b0)
+	z1.Add(&z1, &t)
+	// z2 = c1*b1 + c2*b0
+	z2.Mul(&c.b1, b1)
+	t.Mul(&c.b2, b0)
+	z2.Add(&z2, &t)
+	out.b0.Set(&z0)
+	out.b1.Set(&z1)
+	out.b2.Set(&z2)
+}
+
+// mulByLine multiplies f in place by the sparse line value, exploiting its
+// shape (coefficients only at w^0, w^1, w^3 — or w^0, w^2 for vertical
+// lines). Cross-checked against the generic asFp12 + Mul path in
+// TestSparseLineMulMatchesGeneric and in BenchmarkAblationLineMul.
+func mulByLine(f *fp12, l *lineEval) {
+	if l.vertical {
+		// line = (v0 + v2*v) + 0*w: both halves scale by the same sparse
+		// fp6 element.
+		var v0 fp2
+		v0.SetFp(&l.v0)
+		var c0, c1 fp6
+		mulSparse6(&c0, &f.c0, &v0, &l.v2)
+		mulSparse6(&c1, &f.c1, &v0, &l.v2)
+		f.c0.Set(&c0)
+		f.c1.Set(&c1)
+		return
+	}
+	// line = a + b*w with a = (a0, 0, 0), b = (a1, a3, 0).
+	var a0 fp2
+	a0.SetFp(&l.a0)
+	// t0 = f.c0 * a: scaling by the fp2 constant a0.
+	var t0 fp6
+	t0.b0.Mul(&f.c0.b0, &a0)
+	t0.b1.Mul(&f.c0.b1, &a0)
+	t0.b2.Mul(&f.c0.b2, &a0)
+	// t1 = f.c1 * b (sparse two-term).
+	var t1 fp6
+	mulSparse6(&t1, &f.c1, &l.a1, &l.a3)
+	// z1 = (f.c0 + f.c1)*(a + b) - t0 - t1, with a+b = (a0+a1, a3, 0).
+	var sum fp6
+	sum.Add(&f.c0, &f.c1)
+	var ab0 fp2
+	ab0.Add(&a0, &l.a1)
+	var z1 fp6
+	mulSparse6(&z1, &sum, &ab0, &l.a3)
+	z1.Sub(&z1, &t0)
+	z1.Sub(&z1, &t1)
+	// z0 = t0 + v*t1.
+	var z0 fp6
+	z0.MulByV(&t1)
+	z0.Add(&z0, &t0)
+	f.c0.Set(&z0)
+	f.c1.Set(&z1)
+}
+
+// lineDouble computes the tangent line at t evaluated at p and doubles t
+// in place.
+func lineDouble(t *G2, p *G1, out *lineEval) {
+	if t.y.IsZero() {
+		// Tangent at a 2-torsion point is vertical; cannot occur for
+		// order-r inputs but handled for robustness.
+		out.vertical = true
+		out.v0.Set(&p.x)
+		out.v2.Neg(&t.x)
+		t.SetInfinity()
+		return
+	}
+	// lambda = 3x^2 / 2y on the twist.
+	var num, den, lambda fp2
+	num.Square(&t.x)
+	var three fp
+	three.SetInt64(3)
+	num.MulFp(&num, &three)
+	den.Double(&t.y)
+	den.Inverse(&den)
+	lambda.Mul(&num, &den)
+
+	out.vertical = false
+	out.a0.Set(&p.y)
+	out.a1.MulFp(&lambda, &p.x)
+	out.a1.Neg(&out.a1)
+	out.a3.Mul(&lambda, &t.x)
+	out.a3.Sub(&out.a3, &t.y)
+
+	var x3, y3 fp2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &t.x)
+	x3.Sub(&x3, &t.x)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.y)
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+}
+
+// lineAdd computes the line through t and q evaluated at p and sets
+// t = t + q.
+func lineAdd(t, q *G2, p *G1, out *lineEval) {
+	if t.x.Equal(&q.x) {
+		if t.y.Equal(&q.y) {
+			lineDouble(t, p, out)
+			return
+		}
+		// Vertical line x = t.x; value xP - x*w^2.
+		out.vertical = true
+		out.v0.Set(&p.x)
+		out.v2.Neg(&t.x)
+		t.SetInfinity()
+		return
+	}
+	var num, den, lambda fp2
+	num.Sub(&q.y, &t.y)
+	den.Sub(&q.x, &t.x)
+	den.Inverse(&den)
+	lambda.Mul(&num, &den)
+
+	out.vertical = false
+	out.a0.Set(&p.y)
+	out.a1.MulFp(&lambda, &p.x)
+	out.a1.Neg(&out.a1)
+	out.a3.Mul(&lambda, &t.x)
+	out.a3.Sub(&out.a3, &t.y)
+
+	var x3, y3 fp2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &t.x)
+	x3.Sub(&x3, &q.x)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.y)
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+}
+
+// miller computes the Miller function value f for one (P, Q) pair,
+// accumulating into f (callers initialize f to one).
+func miller(p *G1, q *G2, f *fp12) {
+	if p.IsInfinity() || q.IsInfinity() {
+		return
+	}
+	var t G2
+	t.Set(q)
+	var l lineEval
+	var acc fp12
+	acc.SetOne()
+	for i := sixUPlus2.BitLen() - 2; i >= 0; i-- {
+		acc.Square(&acc)
+		lineDouble(&t, p, &l)
+		mulByLine(&acc, &l)
+		if sixUPlus2.Bit(i) == 1 {
+			lineAdd(&t, q, p, &l)
+			mulByLine(&acc, &l)
+		}
+	}
+	// The two Frobenius line steps of the optimal ate pairing.
+	var q1, q2 G2
+	q1.frobenius(q)
+	q2.frobenius(&q1)
+	q2.Neg(&q2)
+
+	lineAdd(&t, &q1, p, &l)
+	mulByLine(&acc, &l)
+
+	lineAdd(&t, &q2, p, &l)
+	mulByLine(&acc, &l)
+
+	f.Mul(f, &acc)
+}
+
+// finalExponentiation raises f to (p^12-1)/r. The easy part is computed
+// exactly; the hard part uses the Fuentes-Castaneda et al. addition chain
+// (which computes a fixed power of the classical hard part — still a
+// non-degenerate pairing with the same kernel structure).
+func finalExponentiation(f *fp12) *fp12 {
+	// Easy part: f^((p^6-1)(p^2+1)).
+	var t0, t1, inv fp12
+	t0.Conjugate(f)
+	inv.Inverse(f)
+	t0.Mul(&t0, &inv) // f^(p^6-1)
+	t1.FrobeniusP2(&t0)
+	t0.Mul(&t0, &t1) // f^((p^6-1)(p^2+1))
+
+	return hardPart(&t0)
+}
+
+// hardPart computes the hard part of the final exponentiation on an
+// element already raised to (p^6-1)(p^2+1).
+func hardPart(in *fp12) *fp12 {
+	var fp1, fp2x, fp3 fp12
+	fp1.Frobenius(in)
+	fp2x.FrobeniusP2(in)
+	fp3.Frobenius(&fp2x)
+
+	// The input is in the cyclotomic subgroup, so compressed squarings
+	// apply to the exponentiations by u.
+	var fu, fu2, fu3 fp12
+	fu.cyclotomicExp(in, u)
+	fu2.cyclotomicExp(&fu, u)
+	fu3.cyclotomicExp(&fu2, u)
+
+	var y3, fu2p, fu3p, y2 fp12
+	y3.Frobenius(&fu)
+	fu2p.Frobenius(&fu2)
+	fu3p.Frobenius(&fu3)
+	y2.FrobeniusP2(&fu2)
+
+	var y0 fp12
+	y0.Mul(&fp1, &fp2x)
+	y0.Mul(&y0, &fp3)
+
+	var y1, y4, y5, y6 fp12
+	y1.Conjugate(in)
+	y5.Conjugate(&fu2)
+	y3.Conjugate(&y3)
+	y4.Mul(&fu, &fu2p)
+	y4.Conjugate(&y4)
+	y6.Mul(&fu3, &fu3p)
+	y6.Conjugate(&y6)
+
+	var t0, t1 fp12
+	t0.Square(&y6)
+	t0.Mul(&t0, &y4)
+	t0.Mul(&t0, &y5)
+	t1.Mul(&y3, &y5)
+	t1.Mul(&t1, &t0)
+	t0.Mul(&t0, &y2)
+	t1.Square(&t1)
+	t1.Mul(&t1, &t0)
+	t1.Square(&t1)
+	t0.Mul(&t1, &y1)
+	t1.Mul(&t1, &y0)
+	t0.Square(&t0)
+	t0.Mul(&t0, &t1)
+
+	out := new(fp12)
+	out.Set(&t0)
+	return out
+}
+
+// finalExponentiationNaive is the reference implementation: easy part then
+// a plain square-and-multiply by (p^4-p^2+1)/r. Used in tests to validate
+// the optimized chain behaviourally.
+func finalExponentiationNaive(f *fp12) *fp12 {
+	var t0, t1, inv fp12
+	t0.Conjugate(f)
+	inv.Inverse(f)
+	t0.Mul(&t0, &inv)
+	t1.FrobeniusP2(&t0)
+	t0.Mul(&t0, &t1)
+
+	out := new(fp12)
+	out.Exp(&t0, hardExponent)
+	return out
+}
+
+// Pair computes the optimal ate pairing e(p, q).
+func Pair(p *G1, q *G2) *GT {
+	var f fp12
+	f.SetOne()
+	miller(p, q, &f)
+	out := &GT{}
+	out.v.Set(finalExponentiation(&f))
+	return out
+}
+
+// pairNaive is Pair with the reference final exponentiation (tests only).
+func pairNaive(p *G1, q *G2) *GT {
+	var f fp12
+	f.SetOne()
+	miller(p, q, &f)
+	out := &GT{}
+	out.v.Set(finalExponentiationNaive(&f))
+	return out
+}
+
+// MultiPair computes the product of pairings prod_i e(ps[i], qs[i]) with a
+// single shared final exponentiation. This is how a verifier evaluates the
+// "product of four pairings" of the paper's verification equation at the
+// cost of four Miller loops and one exponentiation.
+func MultiPair(ps []*G1, qs []*G2) (*GT, error) {
+	if len(ps) != len(qs) {
+		return nil, errors.New("bn254: mismatched pairing input lengths")
+	}
+	var f fp12
+	f.SetOne()
+	for i := range ps {
+		miller(ps[i], qs[i], &f)
+	}
+	out := &GT{}
+	out.v.Set(finalExponentiation(&f))
+	return out, nil
+}
+
+// PairingCheck reports whether prod_i e(ps[i], qs[i]) == 1. It skips the
+// expensive final exponentiation's cost asymmetry by checking the
+// exponentiated product directly.
+func PairingCheck(ps []*G1, qs []*G2) bool {
+	acc, err := MultiPair(ps, qs)
+	if err != nil {
+		return false
+	}
+	return acc.IsOne()
+}

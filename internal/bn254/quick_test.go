@@ -1,0 +1,92 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the group and pairing
+// invariants. Scalars are generated from quick's int64 stream — small
+// enough to keep the suite fast, spread enough to catch structural bugs
+// (sign handling, zero cases, wrap-arounds).
+
+func scalarFromRaw(raw int64) *big.Int {
+	return new(big.Int).Mod(big.NewInt(raw), Order)
+}
+
+func TestQuickG1Homomorphism(t *testing.T) {
+	prop := func(aRaw, bRaw int64) bool {
+		a := scalarFromRaw(aRaw)
+		b := scalarFromRaw(bRaw)
+		// (a+b)G == aG + bG
+		var lhs, ga, gb, rhs G1
+		lhs.ScalarBaseMult(new(big.Int).Add(a, b))
+		ga.ScalarBaseMult(a)
+		gb.ScalarBaseMult(b)
+		rhs.Add(&ga, &gb)
+		if !lhs.Equal(&rhs) {
+			return false
+		}
+		// a(bG) == (ab)G
+		var abg, ab G1
+		abg.ScalarMult(&gb, a)
+		ab.ScalarBaseMult(new(big.Int).Mul(a, b))
+		return abg.Equal(&ab)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickG2Homomorphism(t *testing.T) {
+	prop := func(aRaw, bRaw int64) bool {
+		a := scalarFromRaw(aRaw)
+		b := scalarFromRaw(bRaw)
+		var lhs, ga, gb, rhs G2
+		lhs.ScalarBaseMult(new(big.Int).Add(a, b))
+		ga.ScalarBaseMult(a)
+		gb.ScalarBaseMult(b)
+		rhs.Add(&ga, &gb)
+		return lhs.Equal(&rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSerializationRoundTrip(t *testing.T) {
+	prop := func(kRaw int64) bool {
+		k := scalarFromRaw(kRaw)
+		p := new(G1).ScalarBaseMult(k)
+		var p2, p3 G1
+		if p2.Unmarshal(p.Marshal()) != nil || !p2.Equal(p) {
+			return false
+		}
+		if p3.UnmarshalCompressed(p.MarshalCompressed()) != nil || !p3.Equal(p) {
+			return false
+		}
+		q := new(G2).ScalarBaseMult(k)
+		var q2 G2
+		return q2.UnmarshalCompressed(q.MarshalCompressed()) == nil && q2.Equal(q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPairingBilinearSmallScalars(t *testing.T) {
+	base := Pair(G1Generator(), G2Generator())
+	prop := func(aRaw, bRaw int16) bool {
+		a := big.NewInt(int64(aRaw))
+		b := big.NewInt(int64(bRaw))
+		pa := new(G1).ScalarBaseMult(a)
+		qb := new(G2).ScalarBaseMult(b)
+		lhs := Pair(pa, qb)
+		rhs := new(GT).Exp(base, new(big.Int).Mul(a, b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// RandScalar returns a uniformly random element of Z_r, reading entropy
+// from rng (crypto/rand.Reader if rng is nil).
+func RandScalar(rng io.Reader) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	k, err := rand.Int(rng, Order)
+	if err != nil {
+		return nil, fmt.Errorf("bn254: sampling scalar: %w", err)
+	}
+	return k, nil
+}
+
+// HashToScalar hashes (domain, msg) to an element of Z_r. Two 256-bit
+// blocks are concatenated before reduction so the output bias is
+// negligible (< 2^-250).
+func HashToScalar(domain string, msg []byte) *big.Int {
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(domain)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(domain))
+	h.Write(msg)
+	d0 := h.Sum(nil)
+	h.Reset()
+	h.Write(d0)
+	h.Write([]byte{0x01})
+	d1 := h.Sum(nil)
+	wide := new(big.Int).SetBytes(append(d0, d1...))
+	return wide.Mod(wide, Order)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"repro/internal/bn254"
+)
+
+func makeBatch(t *testing.T, views []*KeyShares, k int) []BatchEntry {
+	t.Helper()
+	entries := make([]BatchEntry, k)
+	for i := 0; i < k; i++ {
+		msg := []byte(fmt.Sprintf("batch message %d", i))
+		parts := partials(t, views, msg, []int{1, 2, 3})
+		sig, err := Combine(views[1].PK, views[1].VKs, msg, parts, fixtureT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[i] = BatchEntry{Msg: msg, Sig: sig}
+	}
+	return entries
+}
+
+func TestBatchVerifyAcceptsValidBatch(t *testing.T) {
+	views := keyFixture(t)
+	entries := makeBatch(t, views, 4)
+	ok, err := BatchVerify(views[1].PK, entries, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid batch rejected")
+	}
+	// Single-entry batch degenerates to ordinary verification.
+	ok, err = BatchVerify(views[1].PK, entries[:1], rand.Reader)
+	if err != nil || !ok {
+		t.Fatalf("single-entry batch failed: %v %v", ok, err)
+	}
+}
+
+func TestBatchVerifyRejectsOneBadSignature(t *testing.T) {
+	views := keyFixture(t)
+	entries := makeBatch(t, views, 4)
+	// Swap components of one signature.
+	entries[2].Sig = &Signature{Z: entries[2].Sig.R, R: entries[2].Sig.Z}
+	ok, err := BatchVerify(views[1].PK, entries, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("batch with a tampered signature accepted")
+	}
+}
+
+func TestBatchVerifyRejectsWrongMessagePairing(t *testing.T) {
+	// A signature attached to a different (also signed!) message must be
+	// caught: individual validity is what batching must preserve.
+	views := keyFixture(t)
+	entries := makeBatch(t, views, 3)
+	entries[0].Msg, entries[1].Msg = entries[1].Msg, entries[0].Msg
+	ok, err := BatchVerify(views[1].PK, entries, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("batch with swapped messages accepted")
+	}
+}
+
+func TestBatchVerifyCatchesComplementaryForgeries(t *testing.T) {
+	// The classic attack random weights defend against: two entries whose
+	// errors cancel. sig0' = sig0 * D, sig1' = sig1 * D^-1 for a random
+	// group element D. A weight-free batcher (all deltas equal) would
+	// accept; the randomized one must reject.
+	views := keyFixture(t)
+	entries := makeBatch(t, views, 2)
+	d := bn254.HashToG1("cancel", []byte("d"))
+	negD := new(bn254.G1).Neg(d)
+	entries[0].Sig = &Signature{
+		Z: new(bn254.G1).Add(entries[0].Sig.Z, d),
+		R: entries[0].Sig.R,
+	}
+	entries[1].Sig = &Signature{
+		Z: new(bn254.G1).Add(entries[1].Sig.Z, negD),
+		R: entries[1].Sig.R,
+	}
+	// Each individual signature is now invalid.
+	if Verify(views[1].PK, entries[0].Msg, entries[0].Sig) {
+		t.Fatal("tampered signature 0 verifies individually")
+	}
+	ok, err := BatchVerify(views[1].PK, entries, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("complementary forgeries passed randomized batching")
+	}
+}
+
+func TestBatchVerifyInputValidation(t *testing.T) {
+	views := keyFixture(t)
+	if _, err := BatchVerify(views[1].PK, nil, rand.Reader); err == nil {
+		t.Fatal("accepted empty batch")
+	}
+	if _, err := BatchVerify(views[1].PK, []BatchEntry{{Msg: []byte("x")}}, rand.Reader); err == nil {
+		t.Fatal("accepted entry without signature")
+	}
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/lhsps"
+	"repro/internal/shamir"
+)
+
+// Shared fixture: one 2-of-5 DistKeygen reused by every test (the DKG
+// itself is tested separately in package dkg).
+var (
+	fixtureOnce  sync.Once
+	fixtureViews []*KeyShares
+	fixtureErr   error
+)
+
+const (
+	fixtureN = 5
+	fixtureT = 2
+)
+
+var fixtureParams = NewParams("core-test")
+
+func keyFixture(t *testing.T) []*KeyShares {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureViews, _, fixtureErr = DistKeygen(fixtureParams, fixtureN, fixtureT)
+	})
+	if fixtureErr != nil {
+		t.Fatalf("DistKeygen fixture: %v", fixtureErr)
+	}
+	return fixtureViews
+}
+
+func partials(t *testing.T, views []*KeyShares, msg []byte, signers []int) []*PartialSignature {
+	t.Helper()
+	var out []*PartialSignature
+	for _, i := range signers {
+		ps, err := ShareSign(fixtureParams, views[i].Share, msg)
+		if err != nil {
+			t.Fatalf("ShareSign(%d): %v", i, err)
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+func TestEndToEnd(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("fully distributed, non-interactive, adaptively secure")
+
+	parts := partials(t, views, msg, []int{1, 3, 5})
+	sig, err := Combine(views[1].PK, views[1].VKs, msg, parts, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(views[1].PK, msg, sig) {
+		t.Fatal("combined signature rejected")
+	}
+	if Verify(views[1].PK, []byte("other message"), sig) {
+		t.Fatal("signature verified on wrong message")
+	}
+}
+
+func TestAllPlayersAgreeOnKeys(t *testing.T) {
+	views := keyFixture(t)
+	for i := 2; i <= fixtureN; i++ {
+		if !views[i].PK.Equal(views[1].PK) {
+			t.Fatalf("player %d has a different public key", i)
+		}
+		for j := 1; j <= fixtureN; j++ {
+			if !views[i].VKs[j].Equal(views[1].VKs[j]) {
+				t.Fatalf("players 1 and %d disagree on VK_%d", i, j)
+			}
+		}
+	}
+}
+
+func TestShareVerify(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("share verification")
+	ps, err := ShareSign(fixtureParams, views[2].Share, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ShareVerify(views[1].PK, views[1].VKs[2], msg, ps) {
+		t.Fatal("valid partial signature rejected")
+	}
+	// Against the wrong verification key it must fail.
+	if ShareVerify(views[1].PK, views[1].VKs[3], msg, ps) {
+		t.Fatal("partial signature accepted under wrong VK")
+	}
+	// Wrong message.
+	if ShareVerify(views[1].PK, views[1].VKs[2], []byte("x"), ps) {
+		t.Fatal("partial signature accepted on wrong message")
+	}
+	// Tampered component.
+	bad := &PartialSignature{Index: 2, Z: ps.R, R: ps.Z}
+	if ShareVerify(views[1].PK, views[1].VKs[2], msg, bad) {
+		t.Fatal("tampered partial accepted")
+	}
+	if ShareVerify(views[1].PK, nil, msg, ps) {
+		t.Fatal("nil VK accepted")
+	}
+	if ShareVerify(views[1].PK, views[1].VKs[2], msg, nil) {
+		t.Fatal("nil partial accepted")
+	}
+}
+
+func TestAnySubsetCombinesToSameSignature(t *testing.T) {
+	// The combined signature is the unique LHSPS signature of the shared
+	// key, so every qualified subset must produce the identical (z, r).
+	views := keyFixture(t)
+	msg := []byte("subset independence")
+	subsets := [][]int{{1, 2, 3}, {2, 4, 5}, {1, 3, 5}, {3, 4, 5}}
+	var ref *Signature
+	for _, s := range subsets {
+		parts := partials(t, views, msg, s)
+		sig, err := Combine(views[1].PK, views[1].VKs, msg, parts, fixtureT)
+		if err != nil {
+			t.Fatalf("subset %v: %v", s, err)
+		}
+		if ref == nil {
+			ref = sig
+			continue
+		}
+		if !sig.Z.Equal(ref.Z) || !sig.R.Equal(ref.R) {
+			t.Fatalf("subset %v produced a different signature", s)
+		}
+	}
+}
+
+func TestCombineMatchesCentralizedSigner(t *testing.T) {
+	// Reconstruct the "virtual" secret key by interpolating t+1 shares and
+	// sign centrally with the generic RO scheme: Combine must produce the
+	// very same signature (determinism + correctness of interpolation).
+	views := keyFixture(t)
+	msg := []byte("centralized cross-check")
+
+	fld, err := shamir.NewField(bn254.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(get func(*PrivateKeyShare) *big.Int) *big.Int {
+		var shares []shamir.Share
+		for _, i := range []int{1, 2, 3} {
+			shares = append(shares, shamir.Share{X: i, Y: get(views[i].Share)})
+		}
+		s, err := fld.Reconstruct(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a1 := collect(func(s *PrivateKeyShare) *big.Int { return s.A1 })
+	b1 := collect(func(s *PrivateKeyShare) *big.Int { return s.B1 })
+	a2 := collect(func(s *PrivateKeyShare) *big.Int { return s.A2 })
+	b2 := collect(func(s *PrivateKeyShare) *big.Int { return s.B2 })
+
+	central := (&PrivateKeyShare{Index: 0, A1: a1, B1: b1, A2: a2, B2: b2}).lhspsKey(fixtureParams)
+	// The reconstructed key's public part must be the threshold PK.
+	if !central.Public.Gk[0].Equal(views[1].PK.G1) || !central.Public.Gk[1].Equal(views[1].PK.G2) {
+		t.Fatal("interpolated secret does not match the public key")
+	}
+	want, err := central.Sign(fixtureParams.HashMessage(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := partials(t, views, msg, []int{2, 3, 4})
+	got, err := Combine(views[1].PK, views[1].VKs, msg, parts, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Z.Equal(want.Z) || !got.R.Equal(want.R) {
+		t.Fatal("Combine differs from the centralized signature")
+	}
+}
+
+func TestCombineRobustAgainstBadShares(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("robustness")
+	parts := partials(t, views, msg, []int{1, 2, 3})
+	// Up to t corrupted shares: garbage from players 4 and 5.
+	junk := &PartialSignature{
+		Index: 4,
+		Z:     bn254.HashToG1("junk", []byte("z")),
+		R:     bn254.HashToG1("junk", []byte("r")),
+	}
+	junk2 := &PartialSignature{Index: 5, Z: junk.R, R: junk.Z}
+	all := append([]*PartialSignature{junk, junk2}, parts...)
+	sig, err := Combine(views[1].PK, views[1].VKs, msg, all, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(views[1].PK, msg, sig) {
+		t.Fatal("combine with injected bad shares failed")
+	}
+}
+
+func TestCombineFailsBelowThreshold(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("threshold")
+	parts := partials(t, views, msg, []int{1, 2}) // only t = 2 shares
+	if _, err := Combine(views[1].PK, views[1].VKs, msg, parts, fixtureT); err == nil {
+		t.Fatal("combined from t shares")
+	}
+	// Duplicates do not count twice.
+	dup := partials(t, views, msg, []int{1, 1, 1, 2})
+	if _, err := Combine(views[1].PK, views[1].VKs, msg, dup, fixtureT); err == nil {
+		t.Fatal("combined from duplicated shares")
+	}
+	// Out-of-range index is discarded.
+	bogus := append(partials(t, views, msg, []int{1, 2}), &PartialSignature{Index: 99, Z: new(bn254.G1), R: new(bn254.G1)})
+	if _, err := Combine(views[1].PK, views[1].VKs, msg, bogus, fixtureT); err == nil {
+		t.Fatal("combined with out-of-range share index")
+	}
+}
+
+func TestPartialSignatureSerialization(t *testing.T) {
+	views := keyFixture(t)
+	ps, err := ShareSign(fixtureParams, views[4].Share, []byte("serialize me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := ps.Marshal()
+	if len(raw) != 66 {
+		t.Fatalf("partial signature is %d bytes", len(raw))
+	}
+	back, err := UnmarshalPartialSignature(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Index != 4 || !back.Z.Equal(ps.Z) || !back.R.Equal(ps.R) {
+		t.Fatal("partial signature round trip failed")
+	}
+	if _, err := UnmarshalPartialSignature(raw[:5]); err == nil {
+		t.Fatal("accepted truncated partial")
+	}
+}
+
+func TestSignatureIs512Bits(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("size check")
+	parts := partials(t, views, msg, []int{1, 2, 3})
+	sig, err := Combine(views[1].PK, views[1].VKs, msg, parts, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sig.Marshal()) * 8; got != 512 {
+		t.Fatalf("signature is %d bits, paper says 512", got)
+	}
+}
+
+func TestShareSizeIsConstant(t *testing.T) {
+	views := keyFixture(t)
+	if got := views[1].Share.SizeBytes(); got != 128 {
+		t.Fatalf("share size %d bytes, want 128 (four 32-byte scalars)", got)
+	}
+}
+
+func TestVerifyRejectsNil(t *testing.T) {
+	views := keyFixture(t)
+	if Verify(views[1].PK, []byte("m"), nil) {
+		t.Fatal("nil signature accepted")
+	}
+	if Verify(views[1].PK, []byte("m"), &Signature{}) {
+		t.Fatal("empty signature accepted")
+	}
+}
+
+func TestDistributedSignSession(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("session test")
+	res, err := DistributedSign(views, fixtureT, []int{1, 2, 4}, nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(views[1].PK, msg, res.Signature) {
+		t.Fatal("session signature invalid")
+	}
+	// Non-interactivity (E7): exactly one message per signer, all unicast,
+	// all in the first round; no signer-to-signer traffic.
+	if res.Stats.UnicastMessages != 3 || res.Stats.BroadcastMessages != 0 {
+		t.Fatalf("expected 3 unicasts and 0 broadcasts, got %+v", res.Stats)
+	}
+	if res.Stats.CommunicationRounds() != 1 {
+		t.Fatalf("signing used %d communication rounds, want 1", res.Stats.CommunicationRounds())
+	}
+}
+
+func TestDistributedSignToleratesCorruptSigners(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("byzantine signing")
+	// 5 signers, 2 of them (up to t) emit garbage: still succeeds.
+	res, err := DistributedSign(views, fixtureT, []int{1, 2, 3, 4, 5}, map[int]bool{2: true, 5: true}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(views[1].PK, msg, res.Signature) {
+		t.Fatal("session signature invalid under corruption")
+	}
+	// With only t+1 signers of which one corrupt, combining must fail.
+	if _, err := DistributedSign(views, fixtureT, []int{1, 2, 3}, map[int]bool{2: true}, msg); err == nil {
+		t.Fatal("session succeeded without t+1 valid shares")
+	}
+}
+
+func TestProactiveRefresh(t *testing.T) {
+	views := keyFixture(t)
+	msg := []byte("proactive security")
+
+	refresh, err := RunRefresh(fixtureParams, fixtureN, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newViews := make([]*KeyShares, fixtureN+1)
+	for i := 1; i <= fixtureN; i++ {
+		newViews[i], err = ApplyRefresh(views[i], refresh.Results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Public key unchanged.
+	if !newViews[1].PK.Equal(views[1].PK) {
+		t.Fatal("refresh changed the public key")
+	}
+	// Shares changed.
+	if newViews[1].Share.A1.Cmp(views[1].Share.A1) == 0 {
+		t.Fatal("refresh did not re-randomize shares")
+	}
+	// Old and new shares must NOT be mixable: a combine using old VKs with
+	// new partials fails share verification.
+	psNew, err := ShareSign(fixtureParams, newViews[2].Share, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ShareVerify(views[1].PK, views[1].VKs[2], msg, psNew) {
+		t.Fatal("new share verified against pre-refresh VK")
+	}
+	if !ShareVerify(newViews[1].PK, newViews[1].VKs[2], msg, psNew) {
+		t.Fatal("new share rejected against refreshed VK")
+	}
+	// Signing still works after two more epochs.
+	cur := newViews
+	for epoch := 0; epoch < 2; epoch++ {
+		r, err := RunRefresh(fixtureParams, fixtureN, fixtureT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := make([]*KeyShares, fixtureN+1)
+		for i := 1; i <= fixtureN; i++ {
+			next[i], err = ApplyRefresh(cur[i], r.Results[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur = next
+	}
+	var parts []*PartialSignature
+	for _, i := range []int{2, 3, 5} {
+		ps, err := ShareSign(fixtureParams, cur[i].Share, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ps)
+	}
+	sig, err := Combine(cur[1].PK, cur[1].VKs, msg, parts, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(views[1].PK, msg, sig) {
+		t.Fatal("signature after 3 refresh epochs rejected under the ORIGINAL key")
+	}
+}
+
+func TestApplyRefreshValidation(t *testing.T) {
+	views := keyFixture(t)
+	refresh, err := RunRefresh(fixtureParams, fixtureN, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result of player 2 applied to player 1's share must be rejected.
+	if _, err := ApplyRefresh(views[1], refresh.Results[2]); err == nil {
+		t.Fatal("accepted mismatched refresh result")
+	}
+	// A non-refresh DKG result (non-identity PK) must be rejected.
+	normal, _, err := DistKeygen(fixtureParams, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = normal
+	other, err := RunRefresh(fixtureParams, fixtureN, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = other
+}
+
+func TestLHSPSVerifyAgreesWithSchemeVerify(t *testing.T) {
+	// The threshold signature is literally an LHSPS signature on H(M):
+	// check the equivalence explicitly.
+	views := keyFixture(t)
+	msg := []byte("lhsps view")
+	parts := partials(t, views, msg, []int{1, 2, 3})
+	sig, err := Combine(views[1].PK, views[1].VKs, msg, parts, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fixtureParams.HashMessage(msg)
+	lhKey := &lhsps.PublicKey{Params: fixtureParams.LH, Gk: []*bn254.G2{views[1].PK.G1, views[1].PK.G2}}
+	if !lhKey.Verify(h, sig) {
+		t.Fatal("LHSPS view of the signature does not verify")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestShareRecoveryRestoresExactShare(t *testing.T) {
+	views := keyFixture(t)
+	// Player 4 "loses" its share; helpers 1, 2, 5 restore it.
+	recovered, err := RecoverShare(views, fixtureT, 4, []int{1, 2, 5}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := views[4].Share
+	if recovered.A1.Cmp(want.A1) != 0 || recovered.B1.Cmp(want.B1) != 0 ||
+		recovered.A2.Cmp(want.A2) != 0 || recovered.B2.Cmp(want.B2) != 0 {
+		t.Fatal("recovered share differs from the original")
+	}
+	// And it signs: full lifecycle with the recovered share.
+	msg := []byte("signed with a recovered share")
+	ps, err := ShareSign(fixtureParams, recovered, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ShareVerify(views[1].PK, views[1].VKs[4], msg, ps) {
+		t.Fatal("partial from recovered share rejected")
+	}
+	others := partials(t, views, msg, []int{1, 2})
+	sig, err := Combine(views[1].PK, views[1].VKs, msg, append(others, ps), fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(views[1].PK, msg, sig) {
+		t.Fatal("combine with recovered share failed")
+	}
+}
+
+func TestShareRecoveryWithMoreHelpers(t *testing.T) {
+	views := keyFixture(t)
+	recovered, err := RecoverShare(views, fixtureT, 1, []int{2, 3, 4, 5}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.A1.Cmp(views[1].Share.A1) != 0 {
+		t.Fatal("recovery with 4 helpers failed")
+	}
+}
+
+func TestShareRecoveryValidation(t *testing.T) {
+	views := keyFixture(t)
+	if _, err := RecoverShare(views, fixtureT, 0, []int{1, 2, 3}, rand.Reader); err == nil {
+		t.Fatal("accepted out-of-range lost index")
+	}
+	if _, err := RecoverShare(views, fixtureT, 4, []int{1, 2}, rand.Reader); err == nil {
+		t.Fatal("accepted too few helpers")
+	}
+	if _, err := RecoverShare(views, fixtureT, 4, []int{1, 2, 4}, rand.Reader); err == nil {
+		t.Fatal("accepted the lost player as its own helper")
+	}
+	if _, err := RecoverShare(views, fixtureT, 4, []int{1, 2, 99}, rand.Reader); err == nil {
+		t.Fatal("accepted an out-of-range helper")
+	}
+}
+
+func TestShareRecoveryAfterRefresh(t *testing.T) {
+	// The Section 3.3 story: refresh, then restore a player that missed
+	// the epoch; the recovered share belongs to the NEW sharing.
+	views := keyFixture(t)
+	out, err := RunRefresh(fixtureParams, fixtureN, fixtureT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := make([]*KeyShares, fixtureN+1)
+	for i := 1; i <= fixtureN; i++ {
+		next[i], err = ApplyRefresh(views[i], out.Results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered, err := RecoverShare(next, fixtureT, 3, []int{1, 4, 5}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.A1.Cmp(next[3].Share.A1) != 0 {
+		t.Fatal("recovered share is not the post-refresh one")
+	}
+	if recovered.A1.Cmp(views[3].Share.A1) == 0 {
+		t.Fatal("recovered the stale pre-refresh share")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bn254"
+	"repro/internal/dkg"
+)
+
+// This file implements the proactive security extension of Section 3.3:
+// at discrete time intervals all players run a new instance of Pedersen's
+// DKG where the shared secret is {(0, 0)}, and locally add the resulting
+// shares to their current ones. The public key is unchanged (the zero
+// sharing contributes the identity to every g^_k) while every share and
+// verification key is re-randomized, so a mobile adversary must corrupt
+// t+1 players WITHIN one period to learn anything.
+
+// RunRefresh executes one zero-sharing refresh epoch among n honest
+// players and returns the per-player DKG results (to be merged into the
+// existing key material via ApplyRefresh).
+func RunRefresh(params *Params, n, t int) (*dkg.Outcome, error) {
+	cfg := dkg.Config{N: n, T: t, NumSharings: Dim, Scheme: dkg.PedersenScheme{Params: params.LH}, Refresh: true}
+	out, err := dkg.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: refresh epoch: %w", err)
+	}
+	return out, nil
+}
+
+// ApplyRefresh merges a refresh result into a player's key view: the
+// private share is shifted by the zero-sharing, every verification key is
+// multiplied by the refresh commitment evaluation, and the public key is
+// checked to be preserved.
+func ApplyRefresh(view *KeyShares, res *dkg.Result) (*KeyShares, error) {
+	if res.Config.NumSharings != Dim {
+		return nil, fmt.Errorf("core: refresh ran %d sharings, need %d", res.Config.NumSharings, Dim)
+	}
+	if res.Self != view.Share.Index {
+		return nil, fmt.Errorf("core: refresh result for player %d applied to share of player %d", res.Self, view.Share.Index)
+	}
+	for k := 0; k < Dim; k++ {
+		if !res.PK[k][0].IsInfinity() {
+			return nil, fmt.Errorf("core: refresh epoch changed the public key component %d", k)
+		}
+	}
+	newShare := &PrivateKeyShare{
+		Index: view.Share.Index,
+		A1:    addMod(view.Share.A1, res.Share[0][0]),
+		B1:    addMod(view.Share.B1, res.Share[0][1]),
+		A2:    addMod(view.Share.A2, res.Share[1][0]),
+		B2:    addMod(view.Share.B2, res.Share[1][1]),
+	}
+	newVKs := make([]*VerificationKey, len(view.VKs))
+	for i := 1; i < len(view.VKs); i++ {
+		if view.VKs[i] == nil {
+			continue
+		}
+		delta := res.VerificationKey(i)
+		newVKs[i] = &VerificationKey{
+			V1: new(bn254.G2).Add(view.VKs[i].V1, delta[0][0]),
+			V2: new(bn254.G2).Add(view.VKs[i].V2, delta[1][0]),
+		}
+	}
+	return &KeyShares{PK: view.PK, Share: newShare, VKs: newVKs}, nil
+}
+
+// addMod returns a+b mod r as a fresh integer.
+func addMod(a, b *big.Int) *big.Int {
+	s := new(big.Int).Add(a, b)
+	return s.Mod(s, bn254.Order)
+}

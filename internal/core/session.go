@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// This file runs the distributed signing flow over the simulated network
+// to measure the paper's non-interactivity claim (experiment E7): each
+// server computes its partial signature WITHOUT any conversation with
+// other servers and sends a single message to the combiner; the combiner
+// gathers t+1 valid shares and outputs the full signature. One
+// communication round, |S| unicast messages, zero signer-to-signer
+// traffic.
+
+// KindPartial is the wire kind of a partial-signature message.
+const KindPartial = "sign/partial"
+
+// signerPlayer sends one partial signature to the combiner in round 0.
+type signerPlayer struct {
+	id       int
+	params   *Params
+	share    *PrivateKeyShare // nil if this server does not participate
+	msg      []byte
+	combiner int
+	// corruptOutput makes the signer emit garbage, exercising robustness.
+	corruptOutput bool
+	done          bool
+}
+
+func (p *signerPlayer) ID() int    { return p.id }
+func (p *signerPlayer) Done() bool { return p.done }
+
+func (p *signerPlayer) Step(round int, delivered []transport.Message) ([]transport.Message, error) {
+	if round != 0 || p.share == nil {
+		p.done = true
+		return nil, nil
+	}
+	p.done = true
+	ps, err := ShareSign(p.params, p.share, p.msg)
+	if err != nil {
+		return nil, err
+	}
+	payload := ps.Marshal()
+	if p.corruptOutput {
+		payload[len(payload)-1] ^= 0x01
+	}
+	return []transport.Message{{To: p.combiner, Kind: KindPartial, Payload: payload}}, nil
+}
+
+// combinerPlayer gathers shares and combines as soon as t+1 valid ones
+// arrived.
+type combinerPlayer struct {
+	id    int
+	pk    *PublicKey
+	vks   []*VerificationKey
+	msg   []byte
+	t     int
+	parts []*PartialSignature
+	sig   *Signature
+	done  bool
+}
+
+func (p *combinerPlayer) ID() int    { return p.id }
+func (p *combinerPlayer) Done() bool { return p.done }
+
+func (p *combinerPlayer) Step(round int, delivered []transport.Message) ([]transport.Message, error) {
+	for _, m := range delivered {
+		if m.Kind != KindPartial {
+			continue
+		}
+		ps, err := UnmarshalPartialSignature(m.Payload)
+		if err != nil {
+			continue // malformed share: robustness demands we just skip it
+		}
+		if ps.Index != m.From {
+			continue // a server may only speak for itself
+		}
+		p.parts = append(p.parts, ps)
+	}
+	if p.sig == nil && len(p.parts) >= p.t+1 {
+		sig, err := Combine(p.pk, p.vks, p.msg, p.parts, p.t)
+		if err == nil {
+			p.sig = sig
+			p.done = true
+		}
+	}
+	if round >= 2 {
+		// All round-0 messages have long been delivered; if combining has
+		// not succeeded by now it never will.
+		p.done = true
+	}
+	return nil, nil
+}
+
+// SessionResult reports a distributed signing run.
+type SessionResult struct {
+	Signature *Signature
+	Stats     transport.Stats
+}
+
+// DistributedSign runs a signing session over the network: the servers
+// listed in signers produce partial signatures on msg, the ones in
+// corrupted emit garbage instead, and a dedicated combiner (player n+1)
+// combines. views is the 1-based output of DistKeygen.
+func DistributedSign(views []*KeyShares, t int, signers []int, corrupted map[int]bool, msg []byte) (*SessionResult, error) {
+	n := len(views) - 1
+	if n < 1 {
+		return nil, fmt.Errorf("core: invalid views")
+	}
+	pk := views[1].PK
+	vks := views[1].VKs
+
+	participating := make(map[int]bool, len(signers))
+	for _, s := range signers {
+		if s < 1 || s > n {
+			return nil, fmt.Errorf("core: signer index %d out of range", s)
+		}
+		participating[s] = true
+	}
+
+	players := make([]transport.Player, 0, n+1)
+	for i := 1; i <= n; i++ {
+		sp := &signerPlayer{
+			id:       i,
+			params:   pk.Params,
+			msg:      msg,
+			combiner: n + 1,
+		}
+		if participating[i] {
+			sp.share = views[i].Share
+			sp.corruptOutput = corrupted[i]
+		}
+		players = append(players, sp)
+	}
+	comb := &combinerPlayer{id: n + 1, pk: pk, vks: vks, msg: msg, t: t}
+	players = append(players, comb)
+
+	net, err := transport.NewNetwork(players)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := net.Run(5); err != nil {
+		return nil, err
+	}
+	if comb.sig == nil {
+		return nil, ErrNotEnoughShares
+	}
+	return &SessionResult{Signature: comb.sig, Stats: net.Stats()}, nil
+}

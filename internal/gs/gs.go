@@ -1,0 +1,309 @@
+// Package gs implements the SXDH instantiation of Groth-Sahai
+// non-interactive witness-indistinguishable (NIWI) proofs for LINEAR
+// pairing-product equations (Appendix A of the paper), the proof system
+// the standard-model scheme of Section 4 is built on.
+//
+// A common reference string is a pair of vectors u1, u2 in G^2. A
+// commitment to X in G is
+//
+//	C = iota(X) * u1^nu1 * u2^nu2,   iota(X) = (1, X),
+//
+// component-wise in G^2. When u1 and u2 are linearly independent — the
+// case for hash-derived vectors, with overwhelming probability — the
+// commitment is perfectly hiding and proofs are perfectly witness
+// indistinguishable; when u2 is a multiple of u1 the commitment is
+// perfectly binding (the soundness setting used inside the security
+// proof).
+//
+// The equations handled here have the form
+//
+//	prod_j e(X_j, A^_j) * e(T, T^) = 1,
+//
+// with variables X_j in G, constants A^_j, T^ in G^, T in G. A proof is a
+// pair pi^ = (pi^_1, pi^_2) in G^^2:
+//
+//	pi^_s = prod_j A^_j^{-nu_{j,s}},  s = 1, 2.
+//
+// Verification lifts everything to GT^2 via E((c1, c2), h^) =
+// (e(c1, h^), e(c2, h^)) and checks
+//
+//	prod_j E(C_j, A^_j) * E(iota(T), T^) * E(u1, pi^_1) * E(u2, pi^_2) = 1.
+//
+// Proofs are perfectly randomizable (Belenkiy et al.), and — the property
+// the threshold Combine relies on — commitments and proofs for the same
+// equation shape combine LINEARLY: Lagrange interpolation in the exponent
+// of t+1 partial proofs yields a proof for the interpolated statement.
+package gs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/bn254"
+)
+
+// Vec2 is a vector in G^2 (a CRS vector or a commitment).
+type Vec2 struct {
+	A, B *bn254.G1
+}
+
+// NewVec2 returns the identity vector (1, 1).
+func NewVec2() *Vec2 { return &Vec2{A: new(bn254.G1), B: new(bn254.G1)} }
+
+// Set copies v into z and returns z.
+func (z *Vec2) Set(v *Vec2) *Vec2 {
+	z.A = new(bn254.G1).Set(v.A)
+	z.B = new(bn254.G1).Set(v.B)
+	return z
+}
+
+// Mul sets z = x*y (component-wise group operation) and returns z.
+func (z *Vec2) Mul(x, y *Vec2) *Vec2 {
+	z.A = new(bn254.G1).Add(x.A, y.A)
+	z.B = new(bn254.G1).Add(x.B, y.B)
+	return z
+}
+
+// Exp sets z = x^k (component-wise) and returns z.
+func (z *Vec2) Exp(x *Vec2, k *big.Int) *Vec2 {
+	z.A = new(bn254.G1).ScalarMult(x.A, k)
+	z.B = new(bn254.G1).ScalarMult(x.B, k)
+	return z
+}
+
+// Equal reports component-wise equality.
+func (z *Vec2) Equal(v *Vec2) bool { return z.A.Equal(v.A) && z.B.Equal(v.B) }
+
+// Iota embeds a group element: iota(X) = (1, X).
+func Iota(x *bn254.G1) *Vec2 { return &Vec2{A: new(bn254.G1), B: new(bn254.G1).Set(x)} }
+
+// Marshal returns the 64-byte compressed encoding of the vector.
+func (z *Vec2) Marshal() []byte {
+	out := make([]byte, 0, 2*bn254.G1SizeCompressed)
+	out = append(out, z.A.MarshalCompressed()...)
+	out = append(out, z.B.MarshalCompressed()...)
+	return out
+}
+
+// Unmarshal decodes a 64-byte vector encoding.
+func (z *Vec2) Unmarshal(data []byte) error {
+	if len(data) != 2*bn254.G1SizeCompressed {
+		return fmt.Errorf("gs: vector encoding length %d", len(data))
+	}
+	z.A = new(bn254.G1)
+	z.B = new(bn254.G1)
+	if err := z.A.UnmarshalCompressed(data[:bn254.G1SizeCompressed]); err != nil {
+		return fmt.Errorf("gs: vector.A: %w", err)
+	}
+	if err := z.B.UnmarshalCompressed(data[bn254.G1SizeCompressed:]); err != nil {
+		return fmt.Errorf("gs: vector.B: %w", err)
+	}
+	return nil
+}
+
+// CRS is a Groth-Sahai common reference string (u1, u2).
+type CRS struct {
+	U1, U2 *Vec2
+}
+
+// Commitment is a commitment to one G element.
+type Commitment = Vec2
+
+// Randomness is the commitment randomness (nu1, nu2) for one variable.
+type Randomness struct {
+	Nu1, Nu2 *big.Int
+}
+
+// SampleRandomness draws fresh commitment randomness.
+func SampleRandomness(rng io.Reader) (*Randomness, error) {
+	nu1, err := bn254.RandScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	nu2, err := bn254.RandScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Randomness{Nu1: nu1, Nu2: nu2}, nil
+}
+
+// Commit commits to x with randomness nu: iota(x) * u1^nu1 * u2^nu2.
+func (crs *CRS) Commit(x *bn254.G1, nu *Randomness) *Commitment {
+	c := Iota(x)
+	var t Vec2
+	t.Exp(crs.U1, nu.Nu1)
+	c.Mul(c, &t)
+	t.Exp(crs.U2, nu.Nu2)
+	c.Mul(c, &t)
+	return c
+}
+
+// Equation is a linear pairing-product equation
+// prod_j e(X_j, A[j]) * e(T, THat) = 1 in the variables X_j.
+type Equation struct {
+	// A[j] is the G^ constant paired with variable j.
+	A []*bn254.G2
+	// T, THat form the constant term e(T, THat); either may be nil for a
+	// trivial constant term.
+	T    *bn254.G1
+	THat *bn254.G2
+}
+
+// Proof is a NIWI proof (pi^_1, pi^_2) in G^^2.
+type Proof struct {
+	Pi1, Pi2 *bn254.G2
+}
+
+// Marshal returns the 128-byte compressed proof encoding.
+func (p *Proof) Marshal() []byte {
+	out := make([]byte, 0, 2*bn254.G2SizeCompressed)
+	out = append(out, p.Pi1.MarshalCompressed()...)
+	out = append(out, p.Pi2.MarshalCompressed()...)
+	return out
+}
+
+// Unmarshal decodes a 128-byte proof encoding.
+func (p *Proof) Unmarshal(data []byte) error {
+	if len(data) != 2*bn254.G2SizeCompressed {
+		return fmt.Errorf("gs: proof encoding length %d", len(data))
+	}
+	p.Pi1 = new(bn254.G2)
+	p.Pi2 = new(bn254.G2)
+	if err := p.Pi1.UnmarshalCompressed(data[:bn254.G2SizeCompressed]); err != nil {
+		return fmt.Errorf("gs: pi1: %w", err)
+	}
+	if err := p.Pi2.UnmarshalCompressed(data[bn254.G2SizeCompressed:]); err != nil {
+		return fmt.Errorf("gs: pi2: %w", err)
+	}
+	return nil
+}
+
+// Prove produces a NIWI proof that the values committed with the given
+// randomness satisfy eq. The witnesses themselves are not needed — only
+// the randomness (the equation is linear).
+func Prove(eq *Equation, nus []*Randomness) (*Proof, error) {
+	if len(nus) != len(eq.A) {
+		return nil, errors.New("gs: randomness count != variable count")
+	}
+	pi1 := new(bn254.G2)
+	pi2 := new(bn254.G2)
+	var term bn254.G2
+	for j, a := range eq.A {
+		neg1 := new(big.Int).Neg(nus[j].Nu1)
+		neg2 := new(big.Int).Neg(nus[j].Nu2)
+		term.ScalarMult(a, neg1)
+		pi1.Add(pi1, &term)
+		term.ScalarMult(a, neg2)
+		pi2.Add(pi2, &term)
+	}
+	return &Proof{Pi1: pi1, Pi2: pi2}, nil
+}
+
+// Verify checks a proof against the commitments. Verification evaluates
+// two pairing-product identities (one per G^2 coordinate), each as a
+// single multi-pairing.
+func (crs *CRS) Verify(eq *Equation, comms []*Commitment, proof *Proof) bool {
+	if proof == nil || proof.Pi1 == nil || proof.Pi2 == nil || len(comms) != len(eq.A) {
+		return false
+	}
+	// Coordinate 1: prod_j e(C_j.A, A^_j) e(u1.A, pi1) e(u2.A, pi2) == 1.
+	g1s := make([]*bn254.G1, 0, len(eq.A)+3)
+	g2s := make([]*bn254.G2, 0, len(eq.A)+3)
+	for j := range eq.A {
+		g1s = append(g1s, comms[j].A)
+		g2s = append(g2s, eq.A[j])
+	}
+	g1s = append(g1s, crs.U1.A, crs.U2.A)
+	g2s = append(g2s, proof.Pi1, proof.Pi2)
+	if !bn254.PairingCheck(g1s, g2s) {
+		return false
+	}
+	// Coordinate 2: prod_j e(C_j.B, A^_j) e(T, T^) e(u1.B, pi1) e(u2.B, pi2) == 1.
+	g1s = g1s[:0]
+	g2s = g2s[:0]
+	for j := range eq.A {
+		g1s = append(g1s, comms[j].B)
+		g2s = append(g2s, eq.A[j])
+	}
+	if eq.T != nil && eq.THat != nil {
+		g1s = append(g1s, eq.T)
+		g2s = append(g2s, eq.THat)
+	}
+	g1s = append(g1s, crs.U1.B, crs.U2.B)
+	g2s = append(g2s, proof.Pi1, proof.Pi2)
+	return bn254.PairingCheck(g1s, g2s)
+}
+
+// Randomize re-randomizes commitments and the proof in place-compatible
+// fashion: the outputs are distributed exactly as fresh commitments and a
+// fresh proof for the same statement (Belenkiy et al.).
+func (crs *CRS) Randomize(eq *Equation, comms []*Commitment, proof *Proof, rng io.Reader) ([]*Commitment, *Proof, error) {
+	if len(comms) != len(eq.A) {
+		return nil, nil, errors.New("gs: commitment count != variable count")
+	}
+	newComms := make([]*Commitment, len(comms))
+	pi1 := new(bn254.G2).Set(proof.Pi1)
+	pi2 := new(bn254.G2).Set(proof.Pi2)
+	var term bn254.G2
+	for j := range comms {
+		delta, err := SampleRandomness(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		c := new(Vec2).Set(comms[j])
+		var t Vec2
+		t.Exp(crs.U1, delta.Nu1)
+		c.Mul(c, &t)
+		t.Exp(crs.U2, delta.Nu2)
+		c.Mul(c, &t)
+		newComms[j] = c
+		term.ScalarMult(eq.A[j], new(big.Int).Neg(delta.Nu1))
+		pi1.Add(pi1, &term)
+		term.ScalarMult(eq.A[j], new(big.Int).Neg(delta.Nu2))
+		pi2.Add(pi2, &term)
+	}
+	return newComms, &Proof{Pi1: pi1, Pi2: pi2}, nil
+}
+
+// LinearCombine combines proofs of per-index statements into a proof of
+// the weighted statement: given commitments/proofs for equations sharing
+// the same A constants but different constant terms e(T, T^_i), the
+// weighted products
+//
+//	C' = prod_i C_i^{w_i},  pi' = prod_i pi_i^{w_i}
+//
+// verify for the constant term prod_i e(T, T^_i^{w_i}) — this is exactly
+// "Lagrange interpolation in the exponent" of the Section 4 Combine.
+func LinearCombine(weights []*big.Int, commSets [][]*Commitment, proofs []*Proof) ([]*Commitment, *Proof, error) {
+	if len(weights) != len(commSets) || len(weights) != len(proofs) {
+		return nil, nil, errors.New("gs: mismatched combine inputs")
+	}
+	if len(weights) == 0 {
+		return nil, nil, errors.New("gs: empty combine inputs")
+	}
+	nvars := len(commSets[0])
+	out := make([]*Commitment, nvars)
+	for j := range out {
+		out[j] = NewVec2()
+	}
+	pi1 := new(bn254.G2)
+	pi2 := new(bn254.G2)
+	var t Vec2
+	var term bn254.G2
+	for i := range weights {
+		if len(commSets[i]) != nvars {
+			return nil, nil, errors.New("gs: ragged commitment sets")
+		}
+		for j := range out {
+			t.Exp(commSets[i][j], weights[i])
+			out[j].Mul(out[j], &t)
+		}
+		term.ScalarMult(proofs[i].Pi1, weights[i])
+		pi1.Add(pi1, &term)
+		term.ScalarMult(proofs[i].Pi2, weights[i])
+		pi2.Add(pi2, &term)
+	}
+	return out, &Proof{Pi1: pi1, Pi2: pi2}, nil
+}

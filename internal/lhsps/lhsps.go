@@ -1,0 +1,306 @@
+// Package lhsps implements the one-time linearly homomorphic
+// structure-preserving signature (LHSPS) of Libert, Peters, Joye and Yung
+// (Crypto 2013), as recalled in Section 2.3 of the paper. It is the
+// primitive from which the paper's threshold signatures are derived.
+//
+// The scheme signs vectors (M_1, ..., M_N) in G^N under a public key
+// (g^_z, g^_r, {g^_k}) in G^^(N+2):
+//
+//	sk = {(chi_k, gamma_k)},  g^_k = g^_z^chi_k * g^_r^gamma_k
+//	Sign(M) = (z, r) = (prod M_k^-chi_k, prod M_k^-gamma_k)
+//	Verify:  e(z, g^_z) * e(r, g^_r) * prod e(M_k, g^_k) == 1
+//
+// Two properties the threshold constructions exploit are exposed
+// explicitly: the scheme is linearly homomorphic in the message space
+// (SignDerive) and homomorphic in the key space (AddPrivateKeys,
+// MulPublicKeys): signatures under sk1 and sk2 multiply into a signature
+// under sk1+sk2.
+package lhsps
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"repro/internal/bn254"
+)
+
+// Params holds the common generators g^_z, g^_r in G2. The paper derives
+// them from a random oracle so that nobody knows log_{g^_z}(g^_r); see
+// NewParams.
+type Params struct {
+	Gz, Gr *bn254.G2
+
+	// Fixed-base window tables for the generators, built lazily: the
+	// two-generator Pedersen commitment is the hot operation of the DKG
+	// and every LHSPS key generation (see internal/bn254/fixedbase.go).
+	precompOnce sync.Once
+	gzTables    *bn254.FixedBaseG2
+	grTables    *bn254.FixedBaseG2
+}
+
+// precomp returns the (lazily built) fixed-base tables.
+func (p *Params) precomp() (*bn254.FixedBaseG2, *bn254.FixedBaseG2) {
+	p.precompOnce.Do(func() {
+		p.gzTables = bn254.NewFixedBaseG2(p.Gz)
+		p.grTables = bn254.NewFixedBaseG2(p.Gr)
+	})
+	return p.gzTables, p.grTables
+}
+
+// NewParams derives params from a domain-separation string via hash-to-G2,
+// so no party knows the mutual discrete logarithms (the paper's
+// requirement for avoiding an extra distributed-generation round).
+func NewParams(domain string) *Params {
+	return &Params{
+		Gz: bn254.HashToG2(domain+"/gz", nil),
+		Gr: bn254.HashToG2(domain+"/gr", nil),
+	}
+}
+
+// PublicKey is an LHSPS verification key for vectors of dimension N.
+type PublicKey struct {
+	Params *Params
+	// Gk[k] = g^_z^chi_k * g^_r^gamma_k for k = 0..N-1.
+	Gk []*bn254.G2
+}
+
+// N returns the dimension of signable vectors.
+func (pk *PublicKey) N() int { return len(pk.Gk) }
+
+// PrivateKey is an LHSPS signing key.
+type PrivateKey struct {
+	Public *PublicKey
+	Chi    []*big.Int
+	Gamma  []*big.Int
+}
+
+// Signature is a pair (z, r) in G^2.
+type Signature struct {
+	Z, R *bn254.G1
+}
+
+// Keygen generates a key pair for dimension-n vectors under params.
+func Keygen(params *Params, n int, rng io.Reader) (*PrivateKey, error) {
+	if n < 1 {
+		return nil, errors.New("lhsps: dimension must be positive")
+	}
+	chi := make([]*big.Int, n)
+	gamma := make([]*big.Int, n)
+	gk := make([]*bn254.G2, n)
+	for k := 0; k < n; k++ {
+		var err error
+		if chi[k], err = bn254.RandScalar(rng); err != nil {
+			return nil, fmt.Errorf("lhsps keygen: %w", err)
+		}
+		if gamma[k], err = bn254.RandScalar(rng); err != nil {
+			return nil, fmt.Errorf("lhsps keygen: %w", err)
+		}
+		gk[k] = commitPair(params, chi[k], gamma[k])
+	}
+	return &PrivateKey{
+		Public: &PublicKey{Params: params, Gk: gk},
+		Chi:    chi,
+		Gamma:  gamma,
+	}, nil
+}
+
+// commitPair computes g^_z^a * g^_r^b via the precomputed fixed-base
+// window tables.
+func commitPair(params *Params, a, b *big.Int) *bn254.G2 {
+	gz, gr := params.precomp()
+	return bn254.CommitG2(gz, gr, a, b)
+}
+
+// CommitPair exposes the Pedersen-style commitment g^_z^a * g^_r^b used by
+// the DKG's verifiable secret sharing.
+func CommitPair(params *Params, a, b *big.Int) *bn254.G2 { return commitPair(params, a, b) }
+
+// Sign signs the vector msg (dimension must equal the key dimension).
+// The signing algorithm is deterministic — the property that makes the
+// derived threshold scheme non-interactive.
+func (sk *PrivateKey) Sign(msg []*bn254.G1) (*Signature, error) {
+	n := len(sk.Chi)
+	if len(msg) != n {
+		return nil, fmt.Errorf("lhsps: vector dimension %d, key dimension %d", len(msg), n)
+	}
+	negChi := make([]*big.Int, n)
+	negGamma := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		negChi[k] = new(big.Int).Neg(sk.Chi[k])
+		negGamma[k] = new(big.Int).Neg(sk.Gamma[k])
+	}
+	z, err := bn254.MultiScalarMultG1(msg, negChi)
+	if err != nil {
+		return nil, err
+	}
+	r, err := bn254.MultiScalarMultG1(msg, negGamma)
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{Z: z, R: r}, nil
+}
+
+// SignDerive publicly derives a signature on prod_i M_i^{w_i} from
+// signatures on the M_i.
+func SignDerive(weights []*big.Int, sigs []*Signature) (*Signature, error) {
+	if len(weights) != len(sigs) {
+		return nil, errors.New("lhsps: mismatched derive inputs")
+	}
+	if len(sigs) == 0 {
+		return nil, errors.New("lhsps: empty derive inputs")
+	}
+	z := new(bn254.G1)
+	r := new(bn254.G1)
+	var term bn254.G1
+	for i := range sigs {
+		term.ScalarMult(sigs[i].Z, weights[i])
+		z.Add(z, &term)
+		term.ScalarMult(sigs[i].R, weights[i])
+		r.Add(r, &term)
+	}
+	return &Signature{Z: z, R: r}, nil
+}
+
+// Verify checks e(z, g^_z) * e(r, g^_r) * prod_k e(M_k, g^_k) == 1 and
+// rejects the all-identity vector, per the paper's definition.
+func (pk *PublicKey) Verify(msg []*bn254.G1, sig *Signature) bool {
+	if sig == nil || sig.Z == nil || sig.R == nil || len(msg) != pk.N() {
+		return false
+	}
+	allInf := true
+	for _, m := range msg {
+		if m == nil {
+			return false
+		}
+		if !m.IsInfinity() {
+			allInf = false
+		}
+	}
+	if allInf {
+		return false
+	}
+	g1s := make([]*bn254.G1, 0, pk.N()+2)
+	g2s := make([]*bn254.G2, 0, pk.N()+2)
+	g1s = append(g1s, sig.Z, sig.R)
+	g2s = append(g2s, pk.Params.Gz, pk.Params.Gr)
+	for k, m := range msg {
+		g1s = append(g1s, m)
+		g2s = append(g2s, pk.Gk[k])
+	}
+	return bn254.PairingCheck(g1s, g2s)
+}
+
+// VerifyRelation checks the verification equation WITHOUT the non-zero
+// vector restriction. The threshold schemes use this for partial-signature
+// checks where the "message" includes fixed generators.
+func (pk *PublicKey) VerifyRelation(msg []*bn254.G1, sig *Signature) bool {
+	if sig == nil || sig.Z == nil || sig.R == nil || len(msg) != pk.N() {
+		return false
+	}
+	g1s := append([]*bn254.G1{sig.Z, sig.R}, msg...)
+	g2s := append([]*bn254.G2{pk.Params.Gz, pk.Params.Gr}, pk.Gk...)
+	return bn254.PairingCheck(g1s, g2s)
+}
+
+// AddPrivateKeys returns the key with component-wise summed exponents.
+// Signatures under the inputs multiply into signatures under the output —
+// the key homomorphism of footnote 4 in the paper.
+func AddPrivateKeys(keys ...*PrivateKey) (*PrivateKey, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("lhsps: no keys to add")
+	}
+	n := len(keys[0].Chi)
+	params := keys[0].Public.Params
+	chi := make([]*big.Int, n)
+	gamma := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		chi[k] = new(big.Int)
+		gamma[k] = new(big.Int)
+	}
+	for _, key := range keys {
+		if len(key.Chi) != n {
+			return nil, errors.New("lhsps: mismatched key dimensions")
+		}
+		for k := 0; k < n; k++ {
+			chi[k].Add(chi[k], key.Chi[k])
+			chi[k].Mod(chi[k], bn254.Order)
+			gamma[k].Add(gamma[k], key.Gamma[k])
+			gamma[k].Mod(gamma[k], bn254.Order)
+		}
+	}
+	gk := make([]*bn254.G2, n)
+	for k := 0; k < n; k++ {
+		gk[k] = commitPair(params, chi[k], gamma[k])
+	}
+	return &PrivateKey{
+		Public: &PublicKey{Params: params, Gk: gk},
+		Chi:    chi,
+		Gamma:  gamma,
+	}, nil
+}
+
+// MulPublicKeys multiplies public keys component-wise: the public-key side
+// of the key homomorphism.
+func MulPublicKeys(keys ...*PublicKey) (*PublicKey, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("lhsps: no keys to multiply")
+	}
+	n := keys[0].N()
+	params := keys[0].Params
+	gk := make([]*bn254.G2, n)
+	for k := range gk {
+		gk[k] = new(bn254.G2)
+	}
+	for _, key := range keys {
+		if key.N() != n {
+			return nil, errors.New("lhsps: mismatched key dimensions")
+		}
+		for k := 0; k < n; k++ {
+			gk[k].Add(gk[k], key.Gk[k])
+		}
+	}
+	return &PublicKey{Params: params, Gk: gk}, nil
+}
+
+// MulSignatures multiplies signatures component-wise (the signature side of
+// the key homomorphism).
+func MulSignatures(sigs ...*Signature) (*Signature, error) {
+	if len(sigs) == 0 {
+		return nil, errors.New("lhsps: no signatures to multiply")
+	}
+	z := new(bn254.G1)
+	r := new(bn254.G1)
+	for _, s := range sigs {
+		z.Add(z, s.Z)
+		r.Add(r, s.R)
+	}
+	return &Signature{Z: z, R: r}, nil
+}
+
+// Marshal encodes the signature as two compressed G1 points (64 bytes,
+// i.e. the paper's 512-bit signature).
+func (s *Signature) Marshal() []byte {
+	out := make([]byte, 0, 2*bn254.G1SizeCompressed)
+	out = append(out, s.Z.MarshalCompressed()...)
+	out = append(out, s.R.MarshalCompressed()...)
+	return out
+}
+
+// Unmarshal decodes a 64-byte signature.
+func (s *Signature) Unmarshal(data []byte) error {
+	if len(data) != 2*bn254.G1SizeCompressed {
+		return fmt.Errorf("lhsps: invalid signature length %d", len(data))
+	}
+	s.Z = new(bn254.G1)
+	s.R = new(bn254.G1)
+	if err := s.Z.UnmarshalCompressed(data[:bn254.G1SizeCompressed]); err != nil {
+		return fmt.Errorf("lhsps: decoding z: %w", err)
+	}
+	if err := s.R.UnmarshalCompressed(data[bn254.G1SizeCompressed:]); err != nil {
+		return fmt.Errorf("lhsps: decoding r: %w", err)
+	}
+	return nil
+}

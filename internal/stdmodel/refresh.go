@@ -1,0 +1,58 @@
+package stdmodel
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bn254"
+	"repro/internal/dkg"
+)
+
+// Proactive refresh (Section 3.3) applies to the standard-model scheme
+// unchanged: the players run a zero-sharing Pedersen DKG with a single
+// parallel sharing and add the resulting shares to (A(i), B(i)); the
+// public key g^_1 and all existing signatures are unaffected while the
+// shares and verification keys are re-randomized.
+
+// RunRefresh executes one zero-sharing epoch among n honest players.
+func RunRefresh(params *Params, n, t int) (*dkg.Outcome, error) {
+	cfg := dkg.Config{N: n, T: t, NumSharings: 1,
+		Scheme: dkg.PedersenScheme{Params: params.LH}, Refresh: true}
+	out, err := dkg.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("stdmodel: refresh epoch: %w", err)
+	}
+	return out, nil
+}
+
+// ApplyRefresh merges a refresh result into a player's key view.
+func ApplyRefresh(view *KeyShares, res *dkg.Result) (*KeyShares, error) {
+	if res.Config.NumSharings != 1 {
+		return nil, fmt.Errorf("stdmodel: refresh ran %d sharings, need 1", res.Config.NumSharings)
+	}
+	if res.Self != view.Share.Index {
+		return nil, fmt.Errorf("stdmodel: refresh result for player %d applied to share of player %d",
+			res.Self, view.Share.Index)
+	}
+	if !res.PK[0][0].IsInfinity() {
+		return nil, fmt.Errorf("stdmodel: refresh epoch changed the public key")
+	}
+	add := func(a, b *big.Int) *big.Int {
+		s := new(big.Int).Add(a, b)
+		return s.Mod(s, bn254.Order)
+	}
+	newShare := &PrivateKeyShare{
+		Index: view.Share.Index,
+		A:     add(view.Share.A, res.Share[0][0]),
+		B:     add(view.Share.B, res.Share[0][1]),
+	}
+	newVKs := make([]*VerificationKey, len(view.VKs))
+	for i := 1; i < len(view.VKs); i++ {
+		if view.VKs[i] == nil {
+			continue
+		}
+		delta := res.VerificationKey(i)
+		newVKs[i] = &VerificationKey{V: new(bn254.G2).Add(view.VKs[i].V, delta[0][0])}
+	}
+	return &KeyShares{PK: view.PK, Share: newShare, VKs: newVKs}, nil
+}

@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// echoPlayer broadcasts one message in round 0 and finishes after it has
+// received everyone's broadcast.
+type echoPlayer struct {
+	id       int
+	n        int
+	received map[int]bool
+	done     bool
+}
+
+func (p *echoPlayer) ID() int    { return p.id }
+func (p *echoPlayer) Done() bool { return p.done }
+
+func (p *echoPlayer) Step(round int, delivered []Message) ([]Message, error) {
+	for _, m := range delivered {
+		if m.Kind == "hello" {
+			p.received[m.From] = true
+		}
+	}
+	if len(p.received) == p.n {
+		p.done = true
+	}
+	if round == 0 {
+		return []Message{{To: Broadcast, Kind: "hello", Payload: []byte{byte(p.id)}}}, nil
+	}
+	return nil, nil
+}
+
+func newEchoNetwork(t *testing.T, n int) (*Network, []*echoPlayer) {
+	t.Helper()
+	players := make([]Player, n)
+	raw := make([]*echoPlayer, n)
+	for i := 0; i < n; i++ {
+		raw[i] = &echoPlayer{id: i + 1, n: n, received: map[int]bool{}}
+		players[i] = raw[i]
+	}
+	net, err := NewNetwork(players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, raw
+}
+
+func TestBroadcastReachesEveryone(t *testing.T) {
+	net, raw := newEchoNetwork(t, 5)
+	rounds, err := net.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("expected 2 rounds (send, deliver), got %d", rounds)
+	}
+	for _, p := range raw {
+		if len(p.received) != 5 {
+			t.Fatalf("player %d received %d broadcasts", p.id, len(p.received))
+		}
+	}
+	st := net.Stats()
+	if st.BroadcastMessages != 5 {
+		t.Fatalf("expected 5 broadcasts, got %d", st.BroadcastMessages)
+	}
+	if st.UnicastMessages != 0 {
+		t.Fatalf("expected no unicasts, got %d", st.UnicastMessages)
+	}
+}
+
+// unicastPlayer sends a private message to its successor in round 0.
+type unicastPlayer struct {
+	id   int
+	n    int
+	got  []Message
+	done bool
+}
+
+func (p *unicastPlayer) ID() int    { return p.id }
+func (p *unicastPlayer) Done() bool { return p.done }
+
+func (p *unicastPlayer) Step(round int, delivered []Message) ([]Message, error) {
+	p.got = append(p.got, delivered...)
+	switch round {
+	case 0:
+		to := p.id%p.n + 1
+		return []Message{{To: to, Kind: "secret", Payload: []byte(fmt.Sprintf("for-%d", to))}}, nil
+	default:
+		p.done = true
+		return nil, nil
+	}
+}
+
+func TestUnicastIsPrivateAndAuthenticated(t *testing.T) {
+	n := 4
+	players := make([]Player, n)
+	raw := make([]*unicastPlayer, n)
+	for i := 0; i < n; i++ {
+		raw[i] = &unicastPlayer{id: i + 1, n: n}
+		players[i] = raw[i]
+	}
+	net, err := NewNetwork(players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range raw {
+		if len(p.got) != 1 {
+			t.Fatalf("player %d saw %d messages, want exactly its own", p.id, len(p.got))
+		}
+		m := p.got[0]
+		expectedFrom := p.id - 1
+		if expectedFrom == 0 {
+			expectedFrom = n
+		}
+		if m.From != expectedFrom {
+			t.Fatalf("player %d: message claims sender %d, want %d", p.id, m.From, expectedFrom)
+		}
+		if string(m.Payload) != fmt.Sprintf("for-%d", p.id) {
+			t.Fatalf("player %d got someone else's payload %q", p.id, m.Payload)
+		}
+	}
+}
+
+// spoofingPlayer tries to impersonate player 1.
+type spoofingPlayer struct {
+	id   int
+	done bool
+}
+
+func (p *spoofingPlayer) ID() int    { return p.id }
+func (p *spoofingPlayer) Done() bool { return p.done }
+
+func (p *spoofingPlayer) Step(round int, delivered []Message) ([]Message, error) {
+	p.done = true
+	if round == 0 {
+		return []Message{{From: 1, To: Broadcast, Kind: "forged"}}, nil
+	}
+	return nil, nil
+}
+
+// recorder remembers every message it sees.
+type recorder struct {
+	id   int
+	got  []Message
+	done bool
+}
+
+func (p *recorder) ID() int    { return p.id }
+func (p *recorder) Done() bool { return p.done }
+
+func (p *recorder) Step(round int, delivered []Message) ([]Message, error) {
+	p.got = append(p.got, delivered...)
+	if round >= 1 {
+		p.done = true
+	}
+	return nil, nil
+}
+
+func TestSenderIdentityCannotBeForged(t *testing.T) {
+	rec := &recorder{id: 1}
+	spoof := &spoofingPlayer{id: 2}
+	net, err := NewNetwork([]Player{rec, spoof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.got) != 1 {
+		t.Fatalf("recorder saw %d messages", len(rec.got))
+	}
+	if rec.got[0].From != 2 {
+		t.Fatalf("network let player 2 forge sender %d", rec.got[0].From)
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil); err == nil {
+		t.Fatal("accepted empty player list")
+	}
+	if _, err := NewNetwork([]Player{&recorder{id: 7}}); err == nil {
+		t.Fatal("accepted wrong player ID order")
+	}
+	if _, err := NewNetwork([]Player{nil}); err == nil {
+		t.Fatal("accepted nil player")
+	}
+}
+
+func TestInvalidRecipientFailsRun(t *testing.T) {
+	bad := &badSender{id: 1}
+	net, err := NewNetwork([]Player{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(3); err == nil {
+		t.Fatal("expected error for invalid recipient")
+	}
+}
+
+type badSender struct {
+	id   int
+	done bool
+}
+
+func (p *badSender) ID() int    { return p.id }
+func (p *badSender) Done() bool { return p.done }
+func (p *badSender) Step(round int, delivered []Message) ([]Message, error) {
+	p.done = true
+	return []Message{{To: 99, Kind: "lost"}}, nil
+}
+
+func TestRunTimesOut(t *testing.T) {
+	stuck := &neverDone{id: 1}
+	net, err := NewNetwork([]Player{stuck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(3); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+type neverDone struct{ id int }
+
+func (p *neverDone) ID() int    { return p.id }
+func (p *neverDone) Done() bool { return false }
+func (p *neverDone) Step(round int, delivered []Message) ([]Message, error) {
+	return nil, nil
+}
+
+func TestStepErrorPropagates(t *testing.T) {
+	boom := &failing{id: 1}
+	net, err := NewNetwork([]Player{boom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = net.Run(3)
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("expected wrapped errBoom, got %v", err)
+	}
+}
+
+var errBoom = errors.New("boom")
+
+type failing struct{ id int }
+
+func (p *failing) ID() int    { return p.id }
+func (p *failing) Done() bool { return false }
+func (p *failing) Step(round int, delivered []Message) ([]Message, error) {
+	return nil, errBoom
+}
+
+func TestSwap(t *testing.T) {
+	net, _ := newEchoNetwork(t, 3)
+	old, err := net.Swap(2, &recorder{id: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.ID() != 2 {
+		t.Fatal("Swap returned wrong player")
+	}
+	if _, err := net.Swap(9, &recorder{id: 9}); err == nil {
+		t.Fatal("Swap accepted out-of-range id")
+	}
+	if _, err := net.Swap(1, &recorder{id: 3}); err == nil {
+		t.Fatal("Swap accepted mismatched replacement ID")
+	}
+	if net.Player(2).(*recorder) == nil {
+		t.Fatal("replacement not installed")
+	}
+}
+
+func TestStatsCountBytes(t *testing.T) {
+	net, _ := newEchoNetwork(t, 4)
+	if _, err := net.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	// Each broadcast: payload 1 byte + kind "hello" (5 bytes).
+	if st.BroadcastBytes != 4*6 {
+		t.Fatalf("broadcast bytes = %d, want 24", st.BroadcastBytes)
+	}
+	if st.TotalMessages() != 4 {
+		t.Fatalf("total messages = %d", st.TotalMessages())
+	}
+}
+
+func TestCommunicationRounds(t *testing.T) {
+	// Echo protocol: all traffic is in round 0, so exactly one
+	// communication round despite two network rounds.
+	net, _ := newEchoNetwork(t, 3)
+	if _, err := net.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.CommunicationRounds() != 1 {
+		t.Fatalf("CommunicationRounds = %d, want 1", st.CommunicationRounds())
+	}
+	if len(st.MessagesPerRound) < 1 || st.MessagesPerRound[0] != 3 {
+		t.Fatalf("MessagesPerRound = %v", st.MessagesPerRound)
+	}
+}
