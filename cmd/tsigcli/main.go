@@ -1,50 +1,32 @@
-// Command tsigcli is a file-based front end for the Section 3 threshold
+// Command tsigcli is the client front end for the Section 3 threshold
 // signature: it generates a key group (simulating the DKG among n local
 // "servers"), produces partial signatures from individual share files,
-// combines them, and verifies full signatures.
+// combines them, verifies full signatures — and can request a signature
+// from a running tsigd coordinator over HTTP.
 //
 //	tsigcli keygen  -n 5 -t 2 -domain my-app -dir keys/
 //	tsigcli sign    -group keys/group.json -share keys/share-1.json -msg "hello" -out 1.psig
+//	tsigcli sign    -remote http://coordinator:9090 -msg "hello" -out final.sig
 //	tsigcli combine -group keys/group.json -msg "hello" -out final.sig 1.psig 3.psig 5.psig
 //	tsigcli verify  -group keys/group.json -msg "hello" -sig final.sig
 //
 // Each share file is the complete private state of one server; in a real
-// deployment each would live on a different machine (the DKG transcript
-// itself is an in-process simulation — see internal/transport).
+// deployment each lives on a different machine behind a tsigd signer
+// daemon (see cmd/tsigd).
 package main
 
 import (
+	"context"
 	"encoding/hex"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math/big"
 	"os"
-	"path/filepath"
+	"time"
 
-	"repro/internal/bn254"
 	"repro/internal/core"
+	"repro/internal/keyfile"
+	"repro/internal/service"
 )
-
-// groupFile is the public portion of a key group.
-type groupFile struct {
-	Domain string   `json:"domain"`
-	N      int      `json:"n"`
-	T      int      `json:"t"`
-	PK1    string   `json:"pk_g1"` // hex of g^_1
-	PK2    string   `json:"pk_g2"` // hex of g^_2
-	VK1    []string `json:"vk_v1"` // hex of V^_1,i (1-based; index 0 empty)
-	VK2    []string `json:"vk_v2"`
-}
-
-// shareFile is one server's private share.
-type shareFile struct {
-	Index int    `json:"index"`
-	A1    string `json:"a1"`
-	B1    string `json:"b1"`
-	A2    string `json:"a2"`
-	B2    string `json:"b2"`
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -88,31 +70,8 @@ func cmdKeygen(args []string) error {
 	if err != nil {
 		return err
 	}
-	gf := groupFile{
-		Domain: *domain, N: *n, T: *t,
-		PK1: hex.EncodeToString(views[1].PK.G1.Marshal()),
-		PK2: hex.EncodeToString(views[1].PK.G2.Marshal()),
-		VK1: make([]string, *n+1),
-		VK2: make([]string, *n+1),
-	}
-	for i := 1; i <= *n; i++ {
-		gf.VK1[i] = hex.EncodeToString(views[1].VKs[i].V1.Marshal())
-		gf.VK2[i] = hex.EncodeToString(views[1].VKs[i].V2.Marshal())
-	}
-	if err := writeJSON(filepath.Join(*dir, "group.json"), gf); err != nil {
+	if err := keyfile.WriteKeystore(*dir, *domain, *n, *t, views); err != nil {
 		return err
-	}
-	for i := 1; i <= *n; i++ {
-		sf := shareFile{
-			Index: i,
-			A1:    views[i].Share.A1.Text(16),
-			B1:    views[i].Share.B1.Text(16),
-			A2:    views[i].Share.A2.Text(16),
-			B2:    views[i].Share.B2.Text(16),
-		}
-		if err := writeJSON(filepath.Join(*dir, fmt.Sprintf("share-%d.json", i)), sf); err != nil {
-			return err
-		}
 	}
 	fmt.Printf("keygen: n=%d t=%d, DKG used %d communication round(s); wrote group.json and %d share files to %s\n",
 		*n, *t, outcome.Stats.CommunicationRounds(), *n, *dir)
@@ -122,28 +81,35 @@ func cmdKeygen(args []string) error {
 func cmdSign(args []string) error {
 	fs := flag.NewFlagSet("sign", flag.ExitOnError)
 	groupPath := fs.String("group", "group.json", "group file")
-	sharePath := fs.String("share", "", "share file")
+	sharePath := fs.String("share", "", "share file (local partial signing)")
+	remote := fs.String("remote", "", "coordinator base URL (remote full signing)")
 	msg := fs.String("msg", "", "message to sign")
-	out := fs.String("out", "", "output partial-signature file")
+	out := fs.String("out", "", "output file")
+	timeout := fs.Duration("timeout", 30*time.Second, "remote request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *remote != "" {
+		groupSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "group" {
+				groupSet = true
+			}
+		})
+		return remoteSign(*remote, *groupPath, groupSet, *msg, *out, *timeout)
+	}
 	if *sharePath == "" || *out == "" {
-		return fmt.Errorf("sign: -share and -out are required")
+		return fmt.Errorf("sign: -share and -out are required (or use -remote)")
 	}
-	gf, params, _, _, err := loadGroup(*groupPath)
+	group, err := keyfile.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}
-	var sf shareFile
-	if err := readJSON(*sharePath, &sf); err != nil {
-		return err
-	}
-	share, err := shareFromFile(&sf)
+	share, err := keyfile.LoadShare(*sharePath)
 	if err != nil {
 		return err
 	}
-	ps, err := core.ShareSign(params, share, []byte(*msg))
+	ps, err := core.ShareSign(group.Params, share, []byte(*msg))
 	if err != nil {
 		return err
 	}
@@ -151,7 +117,53 @@ func cmdSign(args []string) error {
 		return err
 	}
 	fmt.Printf("sign: server %d/%d produced a %d-byte partial signature -> %s\n",
-		sf.Index, gf.N, len(ps.Marshal()), *out)
+		share.Index, group.N, len(ps.Marshal()), *out)
+	return nil
+}
+
+// remoteSign asks a tsigd coordinator for a full signature and verifies
+// it before writing it out. The trusted public key comes from the local
+// group file when one is available (a coordinator can only vouch for
+// itself); only without one does verification fall back to the key the
+// service advertises, which still catches transport corruption but not
+// a lying coordinator.
+func remoteSign(baseURL, groupPath string, groupSet bool, msg, out string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	client := &service.Client{BaseURL: baseURL}
+
+	var pk *core.PublicKey
+	var n, t int
+	if group, err := keyfile.LoadGroup(groupPath); err == nil {
+		pk, n, t = group.PK, group.N, group.T
+	} else if groupSet {
+		return err // an explicitly named group file must load
+	} else {
+		var info *service.PubkeyResponse
+		if pk, info, err = client.FetchPubkey(ctx); err != nil {
+			return err
+		}
+		n, t = info.N, info.T
+		fmt.Fprintln(os.Stderr, "sign: warning: no local group file; verifying against the coordinator's self-reported public key")
+	}
+	sig, resp, err := client.Sign(ctx, []byte(msg))
+	if err != nil {
+		return err
+	}
+	if !core.Verify(pk, []byte(msg), sig) {
+		return fmt.Errorf("sign: coordinator returned an INVALID signature")
+	}
+	if out != "" {
+		if err := os.WriteFile(out, []byte(hex.EncodeToString(sig.Marshal())+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("sign: coordinator (n=%d t=%d) returned a verified %d-byte signature from signers %v (cached=%v)",
+		n, t, len(sig.Marshal()), resp.Signers, resp.Cached)
+	if out != "" {
+		fmt.Printf(" -> %s", out)
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -163,11 +175,10 @@ func cmdCombine(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	_, params, pk, vks, err := loadGroup(*groupPath)
+	group, err := keyfile.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}
-	_ = params
 	var parts []*core.PartialSignature
 	for _, path := range fs.Args() {
 		raw, err := os.ReadFile(path)
@@ -184,11 +195,7 @@ func cmdCombine(args []string) error {
 		}
 		parts = append(parts, ps)
 	}
-	gf := groupFile{}
-	if err := readJSON(*groupPath, &gf); err != nil {
-		return err
-	}
-	sig, err := core.Combine(pk, vks, []byte(*msg), parts, gf.T)
+	sig, err := core.Combine(group.PK, group.VKs, []byte(*msg), parts, group.T)
 	if err != nil {
 		return err
 	}
@@ -207,7 +214,7 @@ func cmdVerify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	_, _, pk, _, err := loadGroup(*groupPath)
+	group, err := keyfile.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}
@@ -223,98 +230,11 @@ func cmdVerify(args []string) error {
 	if err := sig.Unmarshal(dec); err != nil {
 		return err
 	}
-	if !core.Verify(pk, []byte(*msg), &sig) {
+	if !core.Verify(group.PK, []byte(*msg), &sig) {
 		return fmt.Errorf("verify: INVALID signature")
 	}
 	fmt.Println("verify: OK")
 	return nil
-}
-
-// ---- helpers ----
-
-func loadGroup(path string) (*groupFile, *core.Params, *core.PublicKey, []*core.VerificationKey, error) {
-	var gf groupFile
-	if err := readJSON(path, &gf); err != nil {
-		return nil, nil, nil, nil, err
-	}
-	params := core.NewParams(gf.Domain)
-	g1, err := decodeG2(gf.PK1)
-	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("group pk_g1: %w", err)
-	}
-	g2, err := decodeG2(gf.PK2)
-	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("group pk_g2: %w", err)
-	}
-	pk := &core.PublicKey{Params: params, G1: g1, G2: g2}
-	vks := make([]*core.VerificationKey, gf.N+1)
-	for i := 1; i <= gf.N; i++ {
-		v1, err := decodeG2(gf.VK1[i])
-		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("vk %d: %w", i, err)
-		}
-		v2, err := decodeG2(gf.VK2[i])
-		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("vk %d: %w", i, err)
-		}
-		vks[i] = &core.VerificationKey{V1: v1, V2: v2}
-	}
-	return &gf, params, pk, vks, nil
-}
-
-func decodeG2(h string) (*bn254.G2, error) {
-	raw, err := hex.DecodeString(h)
-	if err != nil {
-		return nil, err
-	}
-	p := new(bn254.G2)
-	if err := p.Unmarshal(raw); err != nil {
-		return nil, err
-	}
-	return p, nil
-}
-
-func shareFromFile(sf *shareFile) (*core.PrivateKeyShare, error) {
-	parse := func(s string) (*big.Int, error) {
-		v, ok := new(big.Int).SetString(s, 16)
-		if !ok {
-			return nil, fmt.Errorf("malformed scalar %q", s)
-		}
-		return v, nil
-	}
-	a1, err := parse(sf.A1)
-	if err != nil {
-		return nil, err
-	}
-	b1, err := parse(sf.B1)
-	if err != nil {
-		return nil, err
-	}
-	a2, err := parse(sf.A2)
-	if err != nil {
-		return nil, err
-	}
-	b2, err := parse(sf.B2)
-	if err != nil {
-		return nil, err
-	}
-	return &core.PrivateKeyShare{Index: sf.Index, A1: a1, B1: b1, A2: a2, B2: b2}, nil
-}
-
-func writeJSON(path string, v any) error {
-	raw, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o600)
-}
-
-func readJSON(path string, v any) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	return json.Unmarshal(raw, v)
 }
 
 func trimWS(s string) string {

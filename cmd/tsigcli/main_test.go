@@ -1,10 +1,13 @@
 package main
 
 import (
-	"math/big"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/keyfile"
+	"repro/internal/service"
 )
 
 func TestKeygenSignCombineVerifyWorkflow(t *testing.T) {
@@ -39,37 +42,61 @@ func TestKeygenSignCombineVerifyWorkflow(t *testing.T) {
 	}
 }
 
-func TestShareFromFileValidation(t *testing.T) {
-	good := &shareFile{Index: 1, A1: "ff", B1: "0a", A2: "1", B2: "2"}
-	share, err := shareFromFile(good)
+// TestRemoteSignWorkflow spins up real signer daemons and a coordinator
+// on loopback and drives `tsigcli sign -remote`.
+func TestRemoteSignWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdKeygen([]string{"-n", "3", "-t", "1", "-domain", "cli-remote-test", "-dir", dir}); err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	group, err := keyfile.LoadGroup(filepath.Join(dir, "group.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if share.A1.Cmp(big.NewInt(255)) != 0 {
-		t.Fatal("hex parsing wrong")
+	urls := make([]string, group.N)
+	for i := 1; i <= group.N; i++ {
+		share, err := keyfile.LoadShare(filepath.Join(dir, "share-"+string(rune('0'+i))+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		signer, err := service.NewSigner(group, share, service.SignerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(signer)
+		defer srv.Close()
+		urls[i-1] = srv.URL
 	}
-	bad := &shareFile{Index: 1, A1: "zz", B1: "0a", A2: "1", B2: "2"}
-	if _, err := shareFromFile(bad); err == nil {
-		t.Fatal("accepted malformed hex")
+	coord, err := service.NewCoordinator(group, urls, service.CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(coord)
+	defer coordSrv.Close()
+
+	sigPath := filepath.Join(dir, "remote.sig")
+	// Verified against the local group file when -group is given...
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-group", filepath.Join(dir, "group.json"), "-msg", "remote hello", "-out", sigPath}); err != nil {
+		t.Fatalf("remote sign: %v", err)
+	}
+	// ...and against the coordinator's advertised key without one.
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-msg", "remote hello", "-out", sigPath}); err != nil {
+		t.Fatalf("remote sign without group: %v", err)
+	}
+	// An explicitly named but unreadable group file is an error.
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-group", filepath.Join(dir, "nope.json"), "-msg", "x", "-out", sigPath}); err == nil {
+		t.Fatal("remote sign accepted a missing explicit group file")
+	}
+	if err := cmdVerify([]string{"-group", filepath.Join(dir, "group.json"), "-msg", "remote hello", "-sig", sigPath}); err != nil {
+		t.Fatalf("verify remote signature: %v", err)
+	}
+	if _, err := os.Stat(sigPath); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestTrimWS(t *testing.T) {
 	if trimWS("abc\r\n") != "abc" || trimWS("abc  ") != "abc" || trimWS("") != "" {
 		t.Fatal("trimWS misbehaves")
-	}
-}
-
-func TestLoadGroupRejectsGarbage(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "group.json")
-	if err := os.WriteFile(path, []byte(`{"domain":"x","n":1,"t":0,"pk_g1":"00","pk_g2":"00","vk_v1":["",""],"vk_v2":["",""]}`), 0o600); err != nil {
-		t.Fatal(err)
-	}
-	if _, _, _, _, err := loadGroup(path); err == nil {
-		t.Fatal("accepted malformed group file")
-	}
-	if _, _, _, _, err := loadGroup(filepath.Join(dir, "missing.json")); err == nil {
-		t.Fatal("accepted missing file")
 	}
 }

@@ -1,0 +1,149 @@
+// Command tsigd runs the networked threshold-signing service: signer
+// daemons that each hold one private key share, and the coordinator
+// gateway that fans client requests out to them.
+//
+// Generate a keystore first (tsigcli keygen -n 5 -t 2 -dir keys/), then:
+//
+//	tsigd signer      -group keys/group.json -share keys/share-1.json -listen :8071
+//	tsigd signer      -group keys/group.json -share keys/share-2.json -listen :8072
+//	...
+//	tsigd coordinator -group keys/group.json -listen :9090 \
+//	    -signers http://host1:8071,http://host2:8072,...
+//
+// Clients then obtain full signatures with a single request:
+//
+//	tsigcli sign -remote http://coordinator:9090 -msg "hello" -out final.sig
+//
+// Because partial signing is non-interactive and deterministic, signers
+// never talk to one another and keep no per-request state; the service
+// tolerates up to t signers being down, slow, or Byzantine.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/keyfile"
+	"repro/internal/service"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "signer":
+		err = cmdSigner(os.Args[2:])
+	case "coordinator":
+		err = cmdCoordinator(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsigd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tsigd {signer|coordinator} [flags]")
+	os.Exit(2)
+}
+
+func cmdSigner(args []string) error {
+	fs := flag.NewFlagSet("signer", flag.ExitOnError)
+	groupPath := fs.String("group", "group.json", "group file (public key material)")
+	sharePath := fs.String("share", "", "this server's private share file")
+	listen := fs.String("listen", ":8071", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent signing operations (0 = default)")
+	queue := fs.Int("queue", 0, "max requests waiting for a worker (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sharePath == "" {
+		return fmt.Errorf("signer: -share is required")
+	}
+	group, err := keyfile.LoadGroup(*groupPath)
+	if err != nil {
+		return err
+	}
+	share, err := keyfile.LoadShare(*sharePath)
+	if err != nil {
+		return err
+	}
+	signer, err := service.NewSigner(group, share, service.SignerConfig{
+		MaxWorkers: *workers, MaxQueue: *queue,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("tsigd signer %d/%d (t=%d, domain %q) listening on %s",
+		signer.Index(), group.N, group.T, group.Domain, *listen)
+	return serve(*listen, signer)
+}
+
+func cmdCoordinator(args []string) error {
+	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
+	groupPath := fs.String("group", "group.json", "group file (public key material)")
+	signers := fs.String("signers", "", "comma-separated signer base URLs, in share order (1..n)")
+	listen := fs.String("listen", ":9090", "listen address")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-signer request timeout")
+	cache := fs.Int("cache", 0, "signature LRU cache size (0 = default, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *signers == "" {
+		return fmt.Errorf("coordinator: -signers is required")
+	}
+	group, err := keyfile.LoadGroup(*groupPath)
+	if err != nil {
+		return err
+	}
+	urls := strings.Split(*signers, ",")
+	for i := range urls {
+		urls[i] = strings.TrimRight(strings.TrimSpace(urls[i]), "/")
+	}
+	coord, err := service.NewCoordinator(group, urls, service.CoordinatorConfig{
+		SignerTimeout: *timeout, CacheSize: *cache,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("tsigd coordinator for n=%d t=%d (domain %q) listening on %s, %d signer backends",
+		group.N, group.T, group.Domain, *listen, len(urls))
+	return serve(*listen, coord)
+}
+
+// serve runs an HTTP server until SIGINT/SIGTERM, then drains it.
+func serve(addr string, handler http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sigc:
+		log.Printf("tsigd: received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

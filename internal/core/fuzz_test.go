@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bn254"
+)
+
+// Fuzz target for the partial-signature decoder, which consumes bytes
+// straight off the network in the service layer: malformed, truncated,
+// and non-group-element inputs must error, never panic, and anything
+// accepted must re-encode canonically to the same bytes.
+func FuzzUnmarshalPartialSignature(f *testing.F) {
+	// Seed with a well-formed encoding...
+	g := bn254.G1Generator()
+	valid := (&PartialSignature{Index: 3, Z: g, R: g}).Marshal()
+	f.Add(valid)
+	// ...an infinity-flagged one...
+	inf := &PartialSignature{Index: 1, Z: new(bn254.G1), R: new(bn254.G1)}
+	f.Add(inf.Marshal())
+	// ...and structurally broken inputs: empty, truncated, wrong length,
+	// right length but garbage coordinates.
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+	junk := make([]byte, 2+2*bn254.G1SizeCompressed)
+	for i := range junk {
+		junk[i] = 0xff
+	}
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := UnmarshalPartialSignature(data)
+		if err != nil {
+			return
+		}
+		if ps.Z == nil || ps.R == nil {
+			t.Fatal("accepted partial signature with nil points")
+		}
+		// Compressed encodings are canonical: decode/encode must
+		// round-trip to the identical bytes, or two distinct wire forms
+		// would alias one signature.
+		if !bytes.Equal(ps.Marshal(), data) {
+			t.Fatalf("non-canonical round-trip: %x -> %x", data, ps.Marshal())
+		}
+	})
+}
+
+// FuzzUnmarshalVerificationKey covers the service-layer VK decoder the
+// same way.
+func FuzzUnmarshalVerificationKey(f *testing.F) {
+	params := NewParams("fuzz-vk/v1")
+	vk := &VerificationKey{
+		V1: params.LH.Gz, V2: params.LH.Gr,
+	}
+	f.Add(vk.Marshal())
+	f.Add([]byte{})
+	f.Add(vk.Marshal()[:100])
+	junk := make([]byte, 2*bn254.G2SizeUncompressed)
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := UnmarshalVerificationKey(data)
+		if err != nil {
+			return
+		}
+		if out.V1 == nil || out.V2 == nil {
+			t.Fatal("accepted verification key with nil points")
+		}
+		if !bytes.Equal(out.Marshal(), data) {
+			t.Fatal("non-canonical verification-key round-trip")
+		}
+	})
+}

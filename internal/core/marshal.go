@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bn254"
+	"repro/internal/lhsps"
+	"repro/internal/shamir"
+)
+
+// This file holds the wire encodings the networked service layer needs on
+// top of the in-process API: verification keys and public keys must cross
+// machine boundaries, and a combiner that has already checked each share
+// should not pay for checking them again.
+
+// Marshal returns the canonical encoding V^_1,i || V^_2,i (two
+// uncompressed G2 points, 256 bytes), matching PublicKey.Marshal.
+func (vk *VerificationKey) Marshal() []byte {
+	out := make([]byte, 0, 2*bn254.G2SizeUncompressed)
+	out = append(out, vk.V1.Marshal()...)
+	out = append(out, vk.V2.Marshal()...)
+	return out
+}
+
+// UnmarshalVerificationKey decodes the VerificationKey.Marshal encoding.
+func UnmarshalVerificationKey(data []byte) (*VerificationKey, error) {
+	if len(data) != 2*bn254.G2SizeUncompressed {
+		return nil, fmt.Errorf("core: verification key length %d", len(data))
+	}
+	vk := &VerificationKey{V1: new(bn254.G2), V2: new(bn254.G2)}
+	if err := vk.V1.Unmarshal(data[:bn254.G2SizeUncompressed]); err != nil {
+		return nil, fmt.Errorf("core: verification key v1: %w", err)
+	}
+	if err := vk.V2.Unmarshal(data[bn254.G2SizeUncompressed:]); err != nil {
+		return nil, fmt.Errorf("core: verification key v2: %w", err)
+	}
+	return vk, nil
+}
+
+// UnmarshalPublicKey decodes the PublicKey.Marshal encoding against the
+// given parameters.
+func UnmarshalPublicKey(params *Params, data []byte) (*PublicKey, error) {
+	if len(data) != 2*bn254.G2SizeUncompressed {
+		return nil, fmt.Errorf("core: public key length %d", len(data))
+	}
+	pk := &PublicKey{Params: params, G1: new(bn254.G2), G2: new(bn254.G2)}
+	if err := pk.G1.Unmarshal(data[:bn254.G2SizeUncompressed]); err != nil {
+		return nil, fmt.Errorf("core: public key g^_1: %w", err)
+	}
+	if err := pk.G2.Unmarshal(data[bn254.G2SizeUncompressed:]); err != nil {
+		return nil, fmt.Errorf("core: public key g^_2: %w", err)
+	}
+	return pk, nil
+}
+
+// CombinePreverified interpolates a full signature from partial
+// signatures that the caller has ALREADY checked with ShareVerify —
+// skipping the t+1 pairing-product re-checks that Combine performs. This
+// is the combiner's hot path in the service layer, where every share is
+// verified the moment it arrives from the network. Duplicate indices are
+// collapsed; at least t+1 distinct indices are required.
+func CombinePreverified(parts []*PartialSignature, t int) (*Signature, error) {
+	byIndex := make(map[int]*PartialSignature, len(parts))
+	indices := make([]int, 0, len(parts))
+	for _, ps := range parts {
+		if ps == nil || ps.Index < 1 || ps.Z == nil || ps.R == nil {
+			continue
+		}
+		if _, dup := byIndex[ps.Index]; dup {
+			continue
+		}
+		byIndex[ps.Index] = ps
+		indices = append(indices, ps.Index)
+	}
+	if len(indices) < t+1 {
+		return nil, fmt.Errorf("core: %d distinct partial signatures, need %d: %w",
+			len(indices), t+1, ErrNotEnoughShares)
+	}
+	indices = indices[:t+1]
+
+	fld, err := shamir.NewField(bn254.Order)
+	if err != nil {
+		return nil, err
+	}
+	lambda, err := fld.LagrangeAtZero(indices)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]*big.Int, 0, len(indices))
+	sigs := make([]*lhsps.Signature, 0, len(indices))
+	for _, i := range indices {
+		weights = append(weights, lambda[i])
+		sigs = append(sigs, &lhsps.Signature{Z: byIndex[i].Z, R: byIndex[i].R})
+	}
+	out, err := lhsps.SignDerive(weights, sigs)
+	if err != nil {
+		return nil, fmt.Errorf("core: CombinePreverified: %w", err)
+	}
+	return out, nil
+}

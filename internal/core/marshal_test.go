@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// One shared small keygen for the marshalling and combiner tests.
+var (
+	marshalOnce  sync.Once
+	marshalViews []*KeyShares
+	marshalP     *Params
+)
+
+func marshalFixture(t *testing.T) (*Params, []*KeyShares) {
+	t.Helper()
+	marshalOnce.Do(func() {
+		marshalP = NewParams("marshal-test/v1")
+		var err error
+		marshalViews, _, err = DistKeygen(marshalP, 3, 1)
+		if err != nil {
+			t.Fatalf("Dist-Keygen: %v", err)
+		}
+	})
+	if marshalViews == nil {
+		t.Fatal("fixture keygen failed")
+	}
+	return marshalP, marshalViews
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	params, views := marshalFixture(t)
+	raw := views[1].PK.Marshal()
+	pk, err := UnmarshalPublicKey(params, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk.Equal(views[1].PK) {
+		t.Fatal("round-trip changed the public key")
+	}
+	if _, err := UnmarshalPublicKey(params, raw[:len(raw)-1]); err == nil {
+		t.Fatal("accepted truncated public key")
+	}
+	bad := bytes.Clone(raw)
+	bad[5] ^= 0xff
+	if _, err := UnmarshalPublicKey(params, bad); err == nil {
+		t.Fatal("accepted corrupted public key")
+	}
+}
+
+func TestVerificationKeyMarshalRoundTrip(t *testing.T) {
+	_, views := marshalFixture(t)
+	for i := 1; i <= 3; i++ {
+		raw := views[1].VKs[i].Marshal()
+		vk, err := UnmarshalVerificationKey(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vk.Equal(views[1].VKs[i]) {
+			t.Fatalf("round-trip changed VK %d", i)
+		}
+	}
+	if _, err := UnmarshalVerificationKey(nil); err == nil {
+		t.Fatal("accepted empty verification key")
+	}
+}
+
+func TestCombinePreverifiedMatchesCombine(t *testing.T) {
+	params, views := marshalFixture(t)
+	msg := []byte("preverified combine")
+	var parts []*PartialSignature
+	for i := 1; i <= 2; i++ {
+		ps, err := ShareSign(params, views[i].Share, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ps)
+	}
+	fast, err := CombinePreverified(parts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(views[1].PK, msg, fast) {
+		t.Fatal("CombinePreverified signature invalid")
+	}
+	slow, err := Combine(views[1].PK, views[1].VKs, msg, parts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Z.Equal(slow.Z) || !fast.R.Equal(slow.R) {
+		t.Fatal("CombinePreverified and Combine disagree")
+	}
+	// Duplicate indices collapse; below-threshold input errors.
+	if _, err := CombinePreverified([]*PartialSignature{parts[0], parts[0]}, 1); err == nil {
+		t.Fatal("duplicate shares reached the threshold")
+	}
+	if _, err := CombinePreverified(parts[:1], 1); err == nil {
+		t.Fatal("one share reached threshold t=1")
+	}
+}

@@ -1,0 +1,193 @@
+// Package keyfile defines the on-disk keystore produced by Dist-Keygen
+// and consumed by every front end (tsigcli, tsigd): a public group file
+// (group.json) describing PK, the verification keys and the threshold,
+// and one private share file (share-i.json) per server. The JSON schema
+// is the one tsigcli has always written, so existing keystores keep
+// working.
+package keyfile
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// Group is the public portion of a key group: everything needed to
+// verify partial and full signatures, but no secrets.
+type Group struct {
+	Domain string
+	N, T   int
+	Params *core.Params
+	PK     *core.PublicKey
+	VKs    []*core.VerificationKey // 1-based; index 0 nil
+}
+
+// groupJSON is the serialized schema (hex-encoded group elements).
+type groupJSON struct {
+	Domain string   `json:"domain"`
+	N      int      `json:"n"`
+	T      int      `json:"t"`
+	PK1    string   `json:"pk_g1"` // hex of g^_1
+	PK2    string   `json:"pk_g2"` // hex of g^_2
+	VK1    []string `json:"vk_v1"` // hex of V^_1,i (1-based; index 0 empty)
+	VK2    []string `json:"vk_v2"`
+}
+
+// shareJSON is one server's private share (hex-encoded scalars).
+type shareJSON struct {
+	Index int    `json:"index"`
+	A1    string `json:"a1"`
+	B1    string `json:"b1"`
+	A2    string `json:"a2"`
+	B2    string `json:"b2"`
+}
+
+// NewGroup builds a Group from one server's Dist-Keygen view.
+func NewGroup(domain string, n, t int, view *core.KeyShares) *Group {
+	return &Group{
+		Domain: domain, N: n, T: t,
+		Params: view.PK.Params, PK: view.PK, VKs: view.VKs,
+	}
+}
+
+// WriteGroup writes the group file at path with 0600 permissions.
+func WriteGroup(path string, g *Group) error {
+	gj := groupJSON{
+		Domain: g.Domain, N: g.N, T: g.T,
+		PK1: hex.EncodeToString(g.PK.G1.Marshal()),
+		PK2: hex.EncodeToString(g.PK.G2.Marshal()),
+		VK1: make([]string, g.N+1),
+		VK2: make([]string, g.N+1),
+	}
+	for i := 1; i <= g.N; i++ {
+		gj.VK1[i] = hex.EncodeToString(g.VKs[i].V1.Marshal())
+		gj.VK2[i] = hex.EncodeToString(g.VKs[i].V2.Marshal())
+	}
+	return writeJSON(path, gj)
+}
+
+// LoadGroup reads and validates a group file, rebuilding the public
+// parameters from the recorded domain label.
+func LoadGroup(path string) (*Group, error) {
+	var gj groupJSON
+	if err := readJSON(path, &gj); err != nil {
+		return nil, err
+	}
+	if gj.N < 1 || gj.T < 0 || gj.N < 2*gj.T+1 {
+		return nil, fmt.Errorf("keyfile: bad group size n=%d t=%d (need n >= 2t+1)", gj.N, gj.T)
+	}
+	if len(gj.VK1) != gj.N+1 || len(gj.VK2) != gj.N+1 {
+		return nil, fmt.Errorf("keyfile: group lists %d verification keys, want %d", len(gj.VK1)-1, gj.N)
+	}
+	params := core.NewParams(gj.Domain)
+	pkRaw, err := hexConcat(gj.PK1, gj.PK2)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: group pk: %w", err)
+	}
+	pk, err := core.UnmarshalPublicKey(params, pkRaw)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: group pk: %w", err)
+	}
+	vks := make([]*core.VerificationKey, gj.N+1)
+	for i := 1; i <= gj.N; i++ {
+		raw, err := hexConcat(gj.VK1[i], gj.VK2[i])
+		if err != nil {
+			return nil, fmt.Errorf("keyfile: vk %d: %w", i, err)
+		}
+		if vks[i], err = core.UnmarshalVerificationKey(raw); err != nil {
+			return nil, fmt.Errorf("keyfile: vk %d: %w", i, err)
+		}
+	}
+	return &Group{Domain: gj.Domain, N: gj.N, T: gj.T, Params: params, PK: pk, VKs: vks}, nil
+}
+
+// WriteShare writes one server's private share file with 0600 permissions.
+func WriteShare(path string, sk *core.PrivateKeyShare) error {
+	return writeJSON(path, shareJSON{
+		Index: sk.Index,
+		A1:    sk.A1.Text(16), B1: sk.B1.Text(16),
+		A2: sk.A2.Text(16), B2: sk.B2.Text(16),
+	})
+}
+
+// LoadShare reads and validates one server's private share file.
+func LoadShare(path string) (*core.PrivateKeyShare, error) {
+	var sj shareJSON
+	if err := readJSON(path, &sj); err != nil {
+		return nil, err
+	}
+	if sj.Index < 1 {
+		return nil, fmt.Errorf("keyfile: bad share index %d", sj.Index)
+	}
+	parse := func(field, s string) (*big.Int, error) {
+		v, ok := new(big.Int).SetString(s, 16)
+		if !ok {
+			return nil, fmt.Errorf("keyfile: share %s: malformed scalar %q", field, s)
+		}
+		return v, nil
+	}
+	a1, err := parse("a1", sj.A1)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := parse("b1", sj.B1)
+	if err != nil {
+		return nil, err
+	}
+	a2, err := parse("a2", sj.A2)
+	if err != nil {
+		return nil, err
+	}
+	b2, err := parse("b2", sj.B2)
+	if err != nil {
+		return nil, err
+	}
+	return &core.PrivateKeyShare{Index: sj.Index, A1: a1, B1: b1, A2: a2, B2: b2}, nil
+}
+
+// WriteKeystore writes the complete Dist-Keygen output — group.json plus
+// share-i.json for every server — into dir.
+func WriteKeystore(dir, domain string, n, t int, views []*core.KeyShares) error {
+	if err := WriteGroup(filepath.Join(dir, "group.json"), NewGroup(domain, n, t, views[1])); err != nil {
+		return err
+	}
+	for i := 1; i <= n; i++ {
+		if err := WriteShare(filepath.Join(dir, fmt.Sprintf("share-%d.json", i)), views[i].Share); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hexConcat(parts ...string) ([]byte, error) {
+	var out []byte
+	for _, p := range parts {
+		raw, err := hex.DecodeString(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, raw...)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o600)
+}
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}

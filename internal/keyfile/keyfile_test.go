@@ -1,0 +1,114 @@
+package keyfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func writeFixtureKeystore(t *testing.T) (string, []*core.KeyShares) {
+	t.Helper()
+	dir := t.TempDir()
+	params := core.NewParams("keyfile-test/v1")
+	views, _, err := core.DistKeygen(params, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteKeystore(dir, "keyfile-test/v1", 3, 1, views); err != nil {
+		t.Fatal(err)
+	}
+	return dir, views
+}
+
+func TestKeystoreRoundTrip(t *testing.T) {
+	dir, views := writeFixtureKeystore(t)
+	group, err := LoadGroup(filepath.Join(dir, "group.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group.N != 3 || group.T != 1 || group.Domain != "keyfile-test/v1" {
+		t.Fatalf("group metadata %+v", group)
+	}
+	if !group.PK.Equal(views[1].PK) {
+		t.Fatal("public key changed in round-trip")
+	}
+	for i := 1; i <= 3; i++ {
+		if !group.VKs[i].Equal(views[1].VKs[i]) {
+			t.Fatalf("VK %d changed in round-trip", i)
+		}
+		share, err := LoadShare(filepath.Join(dir, "share-"+string(rune('0'+i))+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if share.Index != i || share.A1.Cmp(views[i].Share.A1) != 0 || share.B2.Cmp(views[i].Share.B2) != 0 {
+			t.Fatalf("share %d changed in round-trip", i)
+		}
+	}
+	// The loaded material must actually sign.
+	share, err := LoadShare(filepath.Join(dir, "share-2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("keystore sign check")
+	ps, err := core.ShareSign(group.Params, share, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.ShareVerify(group.PK, group.VKs[2], msg, ps) {
+		t.Fatal("share loaded from disk produced an invalid partial signature")
+	}
+}
+
+func TestLoadGroupRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not json":        `nope`,
+		"bad point":       `{"domain":"x","n":1,"t":0,"pk_g1":"00","pk_g2":"00","vk_v1":["",""],"vk_v2":["",""]}`,
+		"bad sizes":       `{"domain":"x","n":2,"t":1,"pk_g1":"","pk_g2":"","vk_v1":["","",""],"vk_v2":["","",""]}`,
+		"vk count":        `{"domain":"x","n":3,"t":1,"pk_g1":"","pk_g2":"","vk_v1":[""],"vk_v2":[""]}`,
+		"negative params": `{"domain":"x","n":-1,"t":-1,"pk_g1":"","pk_g2":"","vk_v1":[],"vk_v2":[]}`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, "group.json")
+		if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadGroup(path); err == nil {
+			t.Fatalf("%s: accepted malformed group file", name)
+		}
+	}
+	if _, err := LoadGroup(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}
+
+func TestLoadShareRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad scalar": `{"index":1,"a1":"zz","b1":"0a","a2":"1","b2":"2"}`,
+		"bad index":  `{"index":0,"a1":"1","b1":"1","a2":"1","b2":"1"}`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, "share.json")
+		if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadShare(path); err == nil {
+			t.Fatalf("%s: accepted malformed share file", name)
+		}
+	}
+	// Good share parses.
+	path := filepath.Join(dir, "share.json")
+	if err := os.WriteFile(path, []byte(`{"index":1,"a1":"ff","b1":"0a","a2":"1","b2":"2"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	share, err := LoadShare(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share.A1.Int64() != 255 {
+		t.Fatal("hex parsing wrong")
+	}
+}

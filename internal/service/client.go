@@ -1,0 +1,91 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Client talks to a coordinator (or, for FetchPubkey, any signer — both
+// serve /v1/pubkey with the same schema).
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client // nil means http.DefaultClient
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP == nil {
+		return http.DefaultClient
+	}
+	return c.HTTP
+}
+
+// Sign requests a full threshold signature on msg from the coordinator.
+func (c *Client) Sign(ctx context.Context, msg []byte) (*core.Signature, *SignatureResponse, error) {
+	body, err := json.Marshal(SignRequest{Message: msg})
+	if err != nil {
+		return nil, nil, err
+	}
+	var sr SignatureResponse
+	if err := c.postJSON(ctx, "/v1/sign", body, &sr); err != nil {
+		return nil, nil, err
+	}
+	sig := new(core.Signature)
+	if err := sig.Unmarshal(sr.Signature); err != nil {
+		return nil, nil, fmt.Errorf("service: coordinator returned malformed signature: %w", err)
+	}
+	return sig, &sr, nil
+}
+
+// FetchPubkey retrieves the group description and reconstructs the
+// public key (parameters are rebuilt from the domain label, exactly as
+// every server derives them).
+func (c *Client) FetchPubkey(ctx context.Context) (*core.PublicKey, *PubkeyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/pubkey", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pr PubkeyResponse
+	if err := c.doJSON(req, &pr); err != nil {
+		return nil, nil, err
+	}
+	pk, err := core.UnmarshalPublicKey(core.NewParams(pr.Domain), pr.PK)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: malformed public key from %s: %w", c.BaseURL, err)
+	}
+	return pk, &pr, nil
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.doJSON(req, out)
+}
+
+func (c *Client) doJSON(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return fmt.Errorf("service: %s: %s (status %d)", req.URL.Path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s: status %d: %s", req.URL.Path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup collapses concurrent calls for the same key into a single
+// execution (the singleflight pattern): the first caller becomes the
+// leader and runs fn; followers block until the leader finishes and
+// share its result. Because partial signing is deterministic, every
+// caller asking for the same message gets byte-identical output, so one
+// fan-out to the signers serves them all.
+//
+// The leader runs fn under its own context; a follower whose context
+// expires stops waiting and gets its context error, without disturbing
+// the leader.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the leader finishes
+	res  *signOutcome
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[cacheKey]*flightCall)}
+}
+
+// do returns fn's result for key, and whether this caller coalesced onto
+// a leader started by someone else.
+func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() (*signOutcome, error)) (*signOutcome, bool, error) {
+	g.mu.Lock()
+	if call, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.res, true, call.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.m[key] = call
+	g.mu.Unlock()
+
+	call.res, call.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.res, false, call.err
+}

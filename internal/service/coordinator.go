@@ -1,0 +1,288 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keyfile"
+)
+
+// CoordinatorConfig tunes the coordinator's fan-out and caching.
+type CoordinatorConfig struct {
+	// SignerTimeout bounds each individual signer request. Default 5s.
+	SignerTimeout time.Duration
+	// CacheSize is the LRU capacity for combined signatures. 0 means the
+	// default (1024); negative disables caching.
+	CacheSize int
+	// HTTPClient overrides the client used for signer requests.
+	HTTPClient *http.Client
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.SignerTimeout <= 0 {
+		c.SignerTimeout = 5 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// Coordinator is the signing gateway: it fans a client request out to all
+// n signers concurrently, verifies every partial signature the moment it
+// arrives, early-exits once t+1 valid shares are in hand, interpolates
+// the full signature, and double-checks it with Verify before answering.
+// Slow and unreachable signers are bounded by per-request timeouts;
+// Byzantine answers are detected by Share-Verify and simply discarded —
+// the protocol is robust, so the coordinator needs no retry rounds as
+// long as t+1 honest signers respond.
+//
+// It is also an http.Handler:
+//
+//	POST /v1/sign   {"message": base64} -> SignatureResponse
+//	GET  /v1/pubkey -> PubkeyResponse
+//	GET  /healthz   -> HealthResponse
+type Coordinator struct {
+	group  *keyfile.Group
+	urls   []string // urls[i-1] serves share i
+	cfg    CoordinatorConfig
+	cache  *sigCache
+	flight *flightGroup
+	mux    *http.ServeMux
+}
+
+// SignReport is the quorum accounting for one Sign call.
+type SignReport struct {
+	Signers     []int // indices whose shares were combined
+	Invalid     []int // signers that answered with an invalid share (Byzantine)
+	Unreachable []int // signers that were down, timed out, or errored
+	Cached      bool  // served from the signature cache
+	Coalesced   bool  // rode another caller's in-flight fan-out
+}
+
+// QuorumError reports a fan-out that ended below t+1 valid shares.
+type QuorumError struct {
+	Need, Valid int
+	Invalid     []int
+	Unreachable []int
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("service: quorum not reached: %d valid shares, need %d (unreachable signers: %v, invalid shares: %v)",
+		e.Valid, e.Need, e.Unreachable, e.Invalid)
+}
+
+// signOutcome is what one fan-out (or cache hit) yields.
+type signOutcome struct {
+	sig         *core.Signature
+	signers     []int
+	invalid     []int
+	unreachable []int
+}
+
+// NewCoordinator builds a coordinator for the group; signerURLs[i-1] must
+// be the base URL of the signer holding share i.
+func NewCoordinator(group *keyfile.Group, signerURLs []string, cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(signerURLs) != group.N {
+		return nil, fmt.Errorf("service: %d signer URLs for a group of n=%d", len(signerURLs), group.N)
+	}
+	c := &Coordinator{
+		group:  group,
+		urls:   signerURLs,
+		cfg:    cfg.withDefaults(),
+		flight: newFlightGroup(),
+	}
+	c.cache = newSigCache(c.cfg.CacheSize) // nil when disabled
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/sign", c.handleSign)
+	c.mux.HandleFunc("GET /v1/pubkey", c.handlePubkey)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	return c, nil
+}
+
+// Group returns the coordinator's public group description.
+func (c *Coordinator) Group() *keyfile.Group { return c.group }
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Sign produces the threshold signature on msg, consulting the cache,
+// coalescing with concurrent identical requests, and otherwise fanning
+// out to the signers.
+func (c *Coordinator) Sign(ctx context.Context, msg []byte) (*core.Signature, SignReport, error) {
+	key := cacheKey(sha256.Sum256(msg))
+	for {
+		if sig, signers, ok := c.cache.get(key); ok {
+			return sig, SignReport{Signers: signers, Cached: true}, nil
+		}
+		out, coalesced, err := c.flight.do(ctx, key, func() (*signOutcome, error) {
+			out, err := c.fanOut(ctx, msg)
+			if err != nil {
+				return nil, err
+			}
+			c.cache.add(key, out.sig, out.signers)
+			return out, nil
+		})
+		if err != nil {
+			// A follower can inherit the leader's context error (the
+			// leader's client hung up mid-fan-out). If this caller's own
+			// context is still live, the failure isn't its own — loop to
+			// join a fresh flight or become the new leader.
+			if coalesced && ctx.Err() == nil &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, SignReport{Coalesced: coalesced}, err
+		}
+		return out.sig, SignReport{
+			Signers:     out.signers,
+			Invalid:     out.invalid,
+			Unreachable: out.unreachable,
+			Coalesced:   coalesced,
+		}, nil
+	}
+}
+
+// fanOut queries all n signers concurrently and combines the first t+1
+// valid shares.
+func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	body, err := json.Marshal(SignRequest{Message: msg})
+	if err != nil {
+		return nil, err
+	}
+	type partialResult struct {
+		index int
+		ps    *core.PartialSignature
+		err   error
+	}
+	results := make(chan partialResult, c.group.N)
+	for i := 1; i <= c.group.N; i++ {
+		go func(i int) {
+			ps, err := c.fetchPartial(ctx, i, body)
+			results <- partialResult{index: i, ps: ps, err: err}
+		}(i)
+	}
+
+	need := c.group.T + 1
+	valid := make([]*core.PartialSignature, 0, need)
+	out := &signOutcome{}
+	for received := 0; received < c.group.N; received++ {
+		var r partialResult
+		select {
+		case r = <-results:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		switch {
+		case r.err != nil:
+			out.unreachable = append(out.unreachable, r.index)
+		case r.ps.Index != r.index || !core.ShareVerify(c.group.PK, c.group.VKs[r.index], msg, r.ps):
+			// Wrong index (share replay) or failed pairing check: the
+			// signer is Byzantine. Robustness means we just drop it.
+			out.invalid = append(out.invalid, r.index)
+		default:
+			valid = append(valid, r.ps)
+			out.signers = append(out.signers, r.index)
+			if len(valid) == need {
+				cancel() // release the laggards
+				sig, err := core.CombinePreverified(valid, c.group.T)
+				if err != nil {
+					return nil, err
+				}
+				// Every share was individually verified, so this cannot
+				// fail for an honest group — it is a final safety net
+				// before a signature leaves the service or enters the
+				// cache.
+				if !core.Verify(c.group.PK, msg, sig) {
+					return nil, fmt.Errorf("service: combined signature failed verification")
+				}
+				out.sig = sig
+				return out, nil
+			}
+		}
+	}
+	return nil, &QuorumError{
+		Need: need, Valid: len(valid),
+		Invalid: out.invalid, Unreachable: out.unreachable,
+	}
+}
+
+// fetchPartial requests one signer's share, bounded by SignerTimeout.
+// body is the serialized SignRequest, marshalled once per fan-out.
+func (c *Coordinator) fetchPartial(ctx context.Context, index int, body []byte) (*core.PartialSignature, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.SignerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.urls[index-1]+"/v1/sign", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("signer %d: status %d: %s", index, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var pr PartialResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return nil, fmt.Errorf("signer %d: %w", index, err)
+	}
+	ps, err := core.UnmarshalPartialSignature(pr.Partial)
+	if err != nil {
+		return nil, fmt.Errorf("signer %d: %w", index, err)
+	}
+	return ps, nil
+}
+
+func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req SignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	sig, report, err := c.Sign(r.Context(), req.Message)
+	if err != nil {
+		status := http.StatusBadGateway
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SignatureResponse{
+		Signature: sig.Marshal(),
+		Signers:   report.Signers,
+		Cached:    report.Cached,
+		Coalesced: report.Coalesced,
+	})
+}
+
+func (c *Coordinator) handlePubkey(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, PubkeyResponse{
+		Domain: c.group.Domain, N: c.group.N, T: c.group.T, PK: c.group.PK.Marshal(),
+	})
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}

@@ -1,0 +1,344 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ---- fault-injection handler wrappers ----
+
+// tamperSign makes a signer Byzantine: it signs a tampered message, so
+// the returned partial is well-formed but fails Share-Verify.
+func tamperSign(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/sign" {
+			var req SignRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err == nil {
+				req.Message = append(req.Message, []byte("::tampered")...)
+				body, _ := json.Marshal(req)
+				r2 := r.Clone(r.Context())
+				r2.Body = io.NopCloser(bytes.NewReader(body))
+				r2.ContentLength = int64(len(body))
+				h.ServeHTTP(w, r2)
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// slowSign delays /v1/sign past any reasonable SignerTimeout. It drains
+// the request body before sleeping so the server can detect the
+// coordinator hanging up and cancel the request context — otherwise
+// server shutdown would wait out the full delay.
+func slowSign(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/sign" {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// countSign counts /v1/sign hits across all signers.
+func countSign(hits *atomic.Int64, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/sign" {
+			hits.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func newTestCoordinator(t *testing.T, urls []string, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(testFixture(t).group, urls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- failure matrix ----
+
+func TestCoordinatorHappyPath(t *testing.T) {
+	f := testFixture(t)
+	urls := startSigners(t, f, nil)
+	c := newTestCoordinator(t, urls, CoordinatorConfig{})
+	msg := []byte("happy path")
+	sig, report, err := c.Sign(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Verify(f.group.PK, msg, sig) {
+		t.Fatal("signature invalid")
+	}
+	if len(report.Signers) != fixT+1 {
+		t.Fatalf("combined %d shares, want exactly t+1=%d (early exit)", len(report.Signers), fixT+1)
+	}
+	if report.Cached || report.Coalesced {
+		t.Fatalf("unexpected report flags %+v", report)
+	}
+}
+
+func TestCoordinatorFailureMatrix(t *testing.T) {
+	f := testFixture(t)
+	cases := []struct {
+		name string
+		down []int // connection refused
+		slow []int // exceed SignerTimeout
+		byz  []int // valid-encoding, invalid share
+	}{
+		{name: "one signer down", down: []int{2}},
+		{name: "three signers down", down: []int{1, 4, 7}},
+		{name: "three Byzantine signers", byz: []int{2, 3, 5}},
+		{name: "one of each fault", down: []int{1}, slow: []int{4}, byz: []int{6}},
+		{name: "two slow one Byzantine", slow: []int{2, 3}, byz: []int{7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+				if contains(tc.slow, i) {
+					return slowSign(h, 10*time.Second)
+				}
+				if contains(tc.byz, i) {
+					return tamperSign(h)
+				}
+				return h
+			})
+			for _, i := range tc.down {
+				urls[i-1] = downURL(t)
+			}
+			c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: time.Second})
+			msg := []byte("matrix: " + tc.name)
+			start := time.Now()
+			sig, report, err := c.Sign(context.Background(), msg)
+			if err != nil {
+				t.Fatalf("Sign: %v", err)
+			}
+			if !core.Verify(f.group.PK, msg, sig) {
+				t.Fatal("signature invalid")
+			}
+			faulty := append(append(append([]int{}, tc.down...), tc.slow...), tc.byz...)
+			for _, i := range faulty {
+				if contains(report.Signers, i) {
+					t.Fatalf("faulty signer %d contributed to the combination", i)
+				}
+			}
+			if len(report.Signers) != fixT+1 {
+				t.Fatalf("combined %d shares, want %d", len(report.Signers), fixT+1)
+			}
+			t.Logf("%s: ok in %v, signers=%v invalid=%v unreachable=%v",
+				tc.name, time.Since(start).Round(time.Millisecond),
+				report.Signers, report.Invalid, report.Unreachable)
+		})
+	}
+}
+
+func TestCoordinatorExactlyTAvailableFailsCleanly(t *testing.T) {
+	f := testFixture(t)
+	// Only t=3 signers reachable; quorum needs t+1=4.
+	urls := startSigners(t, f, nil)
+	for _, i := range []int{1, 2, 3, 4} {
+		urls[i-1] = downURL(t)
+	}
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: time.Second})
+	_, _, err := c.Sign(context.Background(), []byte("no quorum"))
+	var qe *QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("got %v, want QuorumError", err)
+	}
+	if qe.Valid != fixT || qe.Need != fixT+1 || len(qe.Unreachable) != 4 {
+		t.Fatalf("accounting %+v", qe)
+	}
+}
+
+func TestCoordinatorAllByzantineFails(t *testing.T) {
+	f := testFixture(t)
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler { return tamperSign(h) })
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: time.Second})
+	_, _, err := c.Sign(context.Background(), []byte("all evil"))
+	var qe *QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("got %v, want QuorumError", err)
+	}
+	if qe.Valid != 0 || len(qe.Invalid) != fixN {
+		t.Fatalf("accounting %+v", qe)
+	}
+}
+
+// ---- caching and coalescing ----
+
+func TestCoordinatorSignatureCache(t *testing.T) {
+	f := testFixture(t)
+	var hits atomic.Int64
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler { return countSign(&hits, h) })
+	c := newTestCoordinator(t, urls, CoordinatorConfig{})
+	msg := []byte("cache me")
+
+	sig1, r1, err := c.Sign(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := hits.Load()
+	sig2, r2, err := c.Sign(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached || !r2.Cached {
+		t.Fatalf("cache flags: first %+v second %+v", r1, r2)
+	}
+	if hits.Load() != after {
+		t.Fatalf("cache hit still contacted signers (%d -> %d)", after, hits.Load())
+	}
+	if !bytes.Equal(sig1.Marshal(), sig2.Marshal()) {
+		t.Fatal("cache returned a different signature")
+	}
+}
+
+func TestCoordinatorCoalescesConcurrentDuplicates(t *testing.T) {
+	f := testFixture(t)
+	var hits atomic.Int64
+	// A small artificial delay widens the in-flight window so the
+	// concurrent duplicates reliably overlap.
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return countSign(&hits, slowSign(h, 100*time.Millisecond))
+	})
+	// Cache disabled: every hit below must be served by coalescing alone.
+	c := newTestCoordinator(t, urls, CoordinatorConfig{CacheSize: -1, SignerTimeout: 5 * time.Second})
+
+	msg := []byte("duplicate burst")
+	const callers = 16
+	sigs := make([][]byte, callers)
+	reports := make([]SignReport, callers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for k := range callers {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			sig, report, err := c.Sign(context.Background(), msg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sigs[k] = sig.Marshal()
+			reports[k] = report
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	coalesced := 0
+	for k := range callers {
+		if !bytes.Equal(sigs[k], sigs[0]) {
+			t.Fatal("coalesced callers got different signatures")
+		}
+		if reports[k].Coalesced {
+			coalesced++
+		}
+	}
+	// One leader fans out (n requests); everyone else must ride along.
+	if got := hits.Load(); got > int64(fixN) {
+		t.Fatalf("%d signer requests for %d duplicate callers, want <= %d (one fan-out)", got, callers, fixN)
+	}
+	if coalesced != callers-1 {
+		t.Fatalf("%d callers coalesced, want %d", coalesced, callers-1)
+	}
+	t.Logf("%d concurrent duplicates -> %d signer requests, %d coalesced", callers, hits.Load(), coalesced)
+}
+
+func TestCoordinatorFollowerSurvivesLeaderCancel(t *testing.T) {
+	f := testFixture(t)
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return slowSign(h, 300*time.Millisecond)
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{CacheSize: -1, SignerTimeout: 5 * time.Second})
+	msg := []byte("leader dies young")
+
+	// The leader's context is canceled mid-fan-out; a follower with a
+	// live context must not inherit that failure.
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Sign(leaderCtx, msg)
+		leaderErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the leader start its fan-out
+	followerDone := make(chan error, 1)
+	go func() {
+		sig, _, err := c.Sign(context.Background(), msg)
+		if err == nil && !core.Verify(f.group.PK, msg, sig) {
+			err = errors.New("follower got an invalid signature")
+		}
+		followerDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the follower coalesce
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error %v, want context.Canceled", err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower failed after leader cancel: %v", err)
+	}
+}
+
+func TestSigCacheLRUEviction(t *testing.T) {
+	c := newSigCache(2)
+	k := func(b byte) cacheKey { var k cacheKey; k[0] = b; return k }
+	sig := &core.Signature{}
+	c.add(k(1), sig, []int{1})
+	c.add(k(2), sig, []int{2})
+	if _, _, ok := c.get(k(1)); !ok { // touch 1: now 2 is LRU
+		t.Fatal("missing entry 1")
+	}
+	c.add(k(3), sig, []int{3}) // evicts 2
+	if _, _, ok := c.get(k(2)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if _, signers, ok := c.get(k(1)); !ok || signers[0] != 1 {
+		t.Fatal("entry 1 lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d", c.len())
+	}
+	// Disabled cache is inert.
+	var nilCache *sigCache
+	nilCache.add(k(9), sig, nil)
+	if _, _, ok := nilCache.get(k(9)); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// sigCache is a fixed-capacity LRU cache of combined signatures, keyed by
+// message digest. The scheme is deterministic — one message has exactly
+// one signature under a given key — so cached entries never go stale
+// short of a key rotation (which changes the coordinator's group and
+// therefore the cache instance).
+type sigCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+}
+
+type cacheKey [32]byte
+
+type cacheEntry struct {
+	key     cacheKey
+	sig     *core.Signature
+	signers []int
+}
+
+func newSigCache(capacity int) *sigCache {
+	if capacity <= 0 {
+		return nil // caching disabled
+	}
+	return &sigCache{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element, capacity)}
+}
+
+func (c *sigCache) get(key cacheKey) (*core.Signature, []int, bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.sig, e.signers, true
+}
+
+func (c *sigCache) add(key cacheKey, sig *core.Signature, signers []int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).sig = sig
+		el.Value.(*cacheEntry).signers = signers
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, sig: sig, signers: signers})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *sigCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,79 @@
+// Package service turns the Section 3 threshold signature into a
+// networked signing service. The paper's headline property — partial
+// signing is non-interactive and deterministic, so a signing server
+// never talks to its peers — means a signer is a stateless
+// request/response server, and the whole system scales horizontally:
+//
+//	client ──POST /v1/sign──▶ Coordinator ──fan-out──▶ n × Signer
+//	client ◀──signature─────  (verify shares as they arrive,
+//	                           combine the first t+1 valid ones)
+//
+// Signer serves one private key share over HTTP: POST /v1/sign returns a
+// marshalled partial signature, with a bounded worker pool shedding load
+// under overload. Coordinator fans a request out to all n signers
+// concurrently, checks each partial with Share-Verify the moment it
+// arrives, early-exits at the first t+1 valid shares, and interpolates
+// the full signature — tolerating slow, down, and Byzantine signers. A
+// coalescing layer collapses concurrent requests for the same message
+// into one fan-out (signing is deterministic, so everyone gets the same
+// bytes), and an LRU cache serves repeated messages without touching the
+// network at all.
+package service
+
+// maxRequestBytes caps inbound request bodies (and mirrors the cap on
+// response bodies read back from signers), so an oversized payload is
+// rejected instead of buffered into memory.
+const maxRequestBytes = 1 << 20
+
+// Wire types for the JSON/HTTP API. []byte fields marshal as base64 per
+// encoding/json convention.
+
+// SignRequest is the body of POST /v1/sign on both signer and
+// coordinator.
+type SignRequest struct {
+	Message []byte `json:"message"`
+}
+
+// PartialResponse is a signer's answer: core.PartialSignature.Marshal
+// bytes plus the signer's index for observability.
+type PartialResponse struct {
+	Index   int    `json:"index"`
+	Partial []byte `json:"partial"`
+}
+
+// SignatureResponse is the coordinator's answer: core.Signature.Marshal
+// bytes plus quorum accounting.
+type SignatureResponse struct {
+	Signature []byte `json:"signature"`
+	Signers   []int  `json:"signers"`             // indices whose shares were combined
+	Cached    bool   `json:"cached,omitempty"`    // served from the signature cache
+	Coalesced bool   `json:"coalesced,omitempty"` // rode an in-flight duplicate
+}
+
+// PubkeyResponse describes the group on GET /v1/pubkey: the domain label
+// rebuilds Params, PK is core.PublicKey.Marshal bytes.
+type PubkeyResponse struct {
+	Domain string `json:"domain"`
+	N      int    `json:"n"`
+	T      int    `json:"t"`
+	PK     []byte `json:"pk"`
+}
+
+// VKResponse is a signer's verification key on GET /v1/vk
+// (core.VerificationKey.Marshal bytes).
+type VKResponse struct {
+	Index int    `json:"index"`
+	VK    []byte `json:"vk"`
+}
+
+// HealthResponse is returned by GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Index    int    `json:"index,omitempty"`    // signer only
+	Inflight int    `json:"inflight,omitempty"` // signer: requests holding or waiting for a worker
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/keyfile"
+)
+
+// SignerConfig bounds the signer's concurrency. Partial signing costs two
+// hash-to-curve operations and two 2-base multi-exponentiations of CPU,
+// so unbounded concurrency under heavy traffic only adds scheduler churn;
+// beyond MaxWorkers running and MaxQueue waiting, requests are shed with
+// 503 so the coordinator can retry elsewhere.
+type SignerConfig struct {
+	MaxWorkers int // concurrent Share-Sign operations (default 2×GOMAXPROCS via DefaultSignerConfig)
+	MaxQueue   int // additional requests allowed to wait for a worker (default 4×MaxWorkers)
+}
+
+// DefaultSignerConfig returns the defaults for missing fields.
+func (c SignerConfig) withDefaults() SignerConfig {
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxWorkers
+	}
+	return c
+}
+
+// Signer serves one private key share over HTTP. It is an http.Handler:
+//
+//	POST /v1/sign   {"message": base64} -> PartialResponse
+//	GET  /v1/pubkey -> PubkeyResponse
+//	GET  /v1/vk     -> VKResponse (this signer's own key)
+//	GET  /healthz   -> HealthResponse
+//
+// Share-Sign is deterministic and needs no peer interaction, so the
+// Signer keeps no per-request state and any number of replicas of the
+// same share behave identically.
+type Signer struct {
+	group *keyfile.Group
+	share *core.PrivateKeyShare
+	cfg   SignerConfig
+
+	workers  chan struct{} // semaphore: MaxWorkers slots
+	inflight atomic.Int64  // requests holding or waiting for a slot
+	mux      *http.ServeMux
+}
+
+// NewSigner builds a signer for one share of the given group.
+func NewSigner(group *keyfile.Group, share *core.PrivateKeyShare, cfg SignerConfig) (*Signer, error) {
+	if share.Index < 1 || share.Index > group.N {
+		return nil, fmt.Errorf("service: share index %d outside group 1..%d", share.Index, group.N)
+	}
+	s := &Signer{
+		group: group,
+		share: share,
+		cfg:   cfg.withDefaults(),
+	}
+	s.workers = make(chan struct{}, s.cfg.MaxWorkers)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sign", s.handleSign)
+	s.mux.HandleFunc("GET /v1/pubkey", s.handlePubkey)
+	s.mux.HandleFunc("GET /v1/vk", s.handleVK)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// Index returns the signer's 1-based server index.
+func (s *Signer) Index() int { return s.share.Index }
+
+func (s *Signer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req SignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	// Admission control: shed immediately when the wait queue is full,
+	// otherwise wait for a worker slot (or the client hanging up).
+	if s.inflight.Add(1) > int64(s.cfg.MaxWorkers+s.cfg.MaxQueue) {
+		s.inflight.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "signer overloaded")
+		return
+	}
+	defer s.inflight.Add(-1)
+	select {
+	case s.workers <- struct{}{}:
+		defer func() { <-s.workers }()
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+		return
+	}
+
+	ps, err := core.ShareSign(s.group.Params, s.share, req.Message)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PartialResponse{Index: ps.Index, Partial: ps.Marshal()})
+}
+
+func (s *Signer) handlePubkey(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, PubkeyResponse{
+		Domain: s.group.Domain, N: s.group.N, T: s.group.T, PK: s.group.PK.Marshal(),
+	})
+}
+
+func (s *Signer) handleVK(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, VKResponse{
+		Index: s.share.Index, VK: s.group.VKs[s.share.Index].Marshal(),
+	})
+}
+
+func (s *Signer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Index: s.share.Index, Inflight: int(s.inflight.Load()),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
