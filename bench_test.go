@@ -486,6 +486,82 @@ func BenchmarkBatchVerify8(b *testing.B) {
 	}
 }
 
+// ---- batched share verification (the coordinator's hot path) ----
+
+// shareBatch8 is one signer's answers to an 8-message batch — exactly
+// what the coordinator batcher verifies per signer per round-trip.
+func shareBatch8(b *testing.B) []core.ShareBatchEntry {
+	b.Helper()
+	setupFixtures(b)
+	entries := make([]core.ShareBatchEntry, 8)
+	for i := range entries {
+		msg := []byte(fmt.Sprintf("share batch bench %d", i))
+		entries[i] = core.ShareBatchEntry{
+			Msg: msg,
+			VK:  coreViews[1].VKs[2],
+			PS:  mustB(core.ShareSign(coreParams, coreViews[2].Share, msg)),
+		}
+	}
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return entries
+}
+
+func BenchmarkBatchShareVerify8(b *testing.B) {
+	entries := shareBatch8(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := core.BatchShareVerify(coreViews[1].PK, entries, rand.Reader)
+		if err != nil || !ok {
+			b.Fatal("batch share verify failed")
+		}
+	}
+}
+
+func BenchmarkShareVerify8Individually(b *testing.B) {
+	entries := shareBatch8(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range entries {
+			if !core.ShareVerify(coreViews[1].PK, e.VK, e.Msg, e.PS) {
+				b.Fatal("share verify failed")
+			}
+		}
+	}
+}
+
+// BenchmarkBatchShareVerifyCrossSigner8 uses distinct verification keys
+// (signers 1..5 on one message, 1..3 on another), forcing the general
+// 2+2k-slot multi-pairing instead of the collapsed 4-slot one.
+func BenchmarkBatchShareVerifyCrossSigner8(b *testing.B) {
+	setupFixtures(b)
+	msgA, msgB := []byte("cross batch A"), []byte("cross batch B")
+	var entries []core.ShareBatchEntry
+	for i := 1; i <= 5; i++ {
+		entries = append(entries, core.ShareBatchEntry{
+			Msg: msgA, VK: coreViews[1].VKs[i],
+			PS: mustB(core.ShareSign(coreParams, coreViews[i].Share, msgA)),
+		})
+	}
+	for i := 1; i <= 3; i++ {
+		entries = append(entries, core.ShareBatchEntry{
+			Msg: msgB, VK: coreViews[1].VKs[i],
+			PS: mustB(core.ShareSign(coreParams, coreViews[i].Share, msgB)),
+		})
+	}
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := core.BatchShareVerify(coreViews[1].PK, entries, rand.Reader)
+		if err != nil || !ok {
+			b.Fatal("cross-signer batch verify failed")
+		}
+	}
+}
+
 func BenchmarkVerify8Individually(b *testing.B) {
 	setupFixtures(b)
 	entries := make([]core.BatchEntry, 8)

@@ -7,6 +7,7 @@
 //	tsigcli keygen  -n 5 -t 2 -domain my-app -dir keys/
 //	tsigcli sign    -group keys/group.json -share keys/share-1.json -msg "hello" -out 1.psig
 //	tsigcli sign    -remote http://coordinator:9090 -msg "hello" -out final.sig
+//	tsigcli sign    -remote http://coordinator:9090 -batch -out sigs.txt "msg one" "msg two"
 //	tsigcli combine -group keys/group.json -msg "hello" -out final.sig 1.psig 3.psig 5.psig
 //	tsigcli verify  -group keys/group.json -msg "hello" -sig final.sig
 //
@@ -84,10 +85,14 @@ func cmdSign(args []string) error {
 	sharePath := fs.String("share", "", "share file (local partial signing)")
 	remote := fs.String("remote", "", "coordinator base URL (remote full signing)")
 	msg := fs.String("msg", "", "message to sign")
+	batch := fs.Bool("batch", false, "with -remote: sign every positional argument in one batch request")
 	out := fs.String("out", "", "output file")
 	timeout := fs.Duration("timeout", 30*time.Second, "remote request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *batch && *remote == "" {
+		return fmt.Errorf("sign: -batch requires -remote")
 	}
 	if *remote != "" {
 		groupSet := false
@@ -96,6 +101,9 @@ func cmdSign(args []string) error {
 				groupSet = true
 			}
 		})
+		if *batch {
+			return remoteSignBatch(*remote, *groupPath, groupSet, fs.Args(), *out, *timeout)
+		}
 		return remoteSign(*remote, *groupPath, groupSet, *msg, *out, *timeout)
 	}
 	if *sharePath == "" || *out == "" {
@@ -132,19 +140,9 @@ func remoteSign(baseURL, groupPath string, groupSet bool, msg, out string, timeo
 	defer cancel()
 	client := &service.Client{BaseURL: baseURL}
 
-	var pk *core.PublicKey
-	var n, t int
-	if group, err := keyfile.LoadGroup(groupPath); err == nil {
-		pk, n, t = group.PK, group.N, group.T
-	} else if groupSet {
-		return err // an explicitly named group file must load
-	} else {
-		var info *service.PubkeyResponse
-		if pk, info, err = client.FetchPubkey(ctx); err != nil {
-			return err
-		}
-		n, t = info.N, info.T
-		fmt.Fprintln(os.Stderr, "sign: warning: no local group file; verifying against the coordinator's self-reported public key")
+	pk, n, t, err := trustedPubkey(ctx, client, groupPath, groupSet)
+	if err != nil {
+		return err
 	}
 	sig, resp, err := client.Sign(ctx, []byte(msg))
 	if err != nil {
@@ -165,6 +163,81 @@ func remoteSign(baseURL, groupPath string, groupSet bool, msg, out string, timeo
 	}
 	fmt.Println()
 	return nil
+}
+
+// remoteSignBatch signs every message of msgs in ONE request to the
+// coordinator's /v1/sign-batch endpoint and verifies each returned
+// signature. With -out, one hex signature per line is written, in
+// message order.
+func remoteSignBatch(baseURL, groupPath string, groupSet bool, msgs []string, out string, timeout time.Duration) error {
+	if len(msgs) == 0 {
+		return fmt.Errorf("sign: -batch needs at least one message argument")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	client := &service.Client{BaseURL: baseURL}
+
+	pk, n, t, err := trustedPubkey(ctx, client, groupPath, groupSet)
+	if err != nil {
+		return err
+	}
+	raw := make([][]byte, len(msgs))
+	for j, m := range msgs {
+		raw[j] = []byte(m)
+	}
+	sigs, resp, err := client.SignBatch(ctx, raw)
+	if err != nil {
+		return err
+	}
+	var lines []byte
+	failed := 0
+	for j, sig := range sigs {
+		if sig == nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "sign: message %d failed: %s\n", j, resp.Results[j].Error)
+			lines = append(lines, '\n') // keep line j aligned with message j
+			continue
+		}
+		if !core.Verify(pk, raw[j], sig) {
+			return fmt.Errorf("sign: coordinator returned an INVALID signature for message %d", j)
+		}
+		lines = append(lines, []byte(hex.EncodeToString(sig.Marshal())+"\n")...)
+	}
+	summary := os.Stdout
+	if out != "" {
+		if err := os.WriteFile(out, lines, 0o644); err != nil {
+			return err
+		}
+	} else {
+		// Without -out, stdout IS the signature stream (one hex line per
+		// message); the summary must not corrupt it.
+		fmt.Print(string(lines))
+		summary = os.Stderr
+	}
+	fmt.Fprintf(summary, "sign: coordinator (n=%d t=%d) signed %d/%d messages in one batch request\n",
+		n, t, len(msgs)-failed, len(msgs))
+	if failed > 0 {
+		return fmt.Errorf("sign: %d of %d messages failed", failed, len(msgs))
+	}
+	return nil
+}
+
+// trustedPubkey resolves the public key signatures are verified against:
+// the local group file when available (a coordinator can only vouch for
+// itself), else the key the service advertises — which still catches
+// transport corruption but not a lying coordinator.
+func trustedPubkey(ctx context.Context, client *service.Client, groupPath string, groupSet bool) (*core.PublicKey, int, int, error) {
+	if group, err := keyfile.LoadGroup(groupPath); err == nil {
+		return group.PK, group.N, group.T, nil
+	} else if groupSet {
+		return nil, 0, 0, err // an explicitly named group file must load
+	}
+	pk, info, err := client.FetchPubkey(ctx)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	fmt.Fprintln(os.Stderr, "sign: warning: no local group file; verifying against the coordinator's self-reported public key")
+	return pk, info.N, info.T, nil
 }
 
 func cmdCombine(args []string) error {

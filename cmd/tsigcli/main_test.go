@@ -4,6 +4,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/keyfile"
@@ -92,6 +93,35 @@ func TestRemoteSignWorkflow(t *testing.T) {
 	}
 	if _, err := os.Stat(sigPath); err != nil {
 		t.Fatal(err)
+	}
+
+	// Batch mode: every positional argument signed in one request, one
+	// hex signature per output line, each independently verifiable.
+	batchPath := filepath.Join(dir, "batch.sigs")
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-group", filepath.Join(dir, "group.json"),
+		"-batch", "-out", batchPath, "batch alpha", "batch beta", "batch gamma"}); err != nil {
+		t.Fatalf("remote batch sign: %v", err)
+	}
+	raw, err := os.ReadFile(batchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("batch output has %d lines, want 3", len(lines))
+	}
+	for j, msg := range []string{"batch alpha", "batch beta", "batch gamma"} {
+		one := filepath.Join(dir, "one.sig")
+		if err := os.WriteFile(one, []byte(lines[j]+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdVerify([]string{"-group", filepath.Join(dir, "group.json"), "-msg", msg, "-sig", one}); err != nil {
+			t.Fatalf("verify batch signature %d: %v", j, err)
+		}
+	}
+	// -batch without -remote is a usage error.
+	if err := cmdSign([]string{"-batch", "local nope"}); err == nil {
+		t.Fatal("batch mode accepted without -remote")
 	}
 }
 

@@ -13,6 +13,11 @@
 // Clients then obtain full signatures with a single request:
 //
 //	tsigcli sign -remote http://coordinator:9090 -msg "hello" -out final.sig
+//	tsigcli sign -remote http://coordinator:9090 -batch "msg one" "msg two" "msg three"
+//
+// The coordinator also serves POST /v1/sign-batch (many messages, one
+// request), and -batch-window makes it merge concurrent single-message
+// requests into one batched fan-out per signer.
 //
 // Because partial signing is non-interactive and deterministic, signers
 // never talk to one another and keep no per-request state; the service
@@ -67,6 +72,7 @@ func cmdSigner(args []string) error {
 	listen := fs.String("listen", ":8071", "listen address")
 	workers := fs.Int("workers", 0, "max concurrent signing operations (0 = default)")
 	queue := fs.Int("queue", 0, "max requests waiting for a worker (0 = default)")
+	maxBatch := fs.Int("max-batch", 0, "max messages per /v1/sign-batch request (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,7 +88,7 @@ func cmdSigner(args []string) error {
 		return err
 	}
 	signer, err := service.NewSigner(group, share, service.SignerConfig{
-		MaxWorkers: *workers, MaxQueue: *queue,
+		MaxWorkers: *workers, MaxQueue: *queue, MaxBatch: *maxBatch,
 	})
 	if err != nil {
 		return err
@@ -99,6 +105,9 @@ func cmdCoordinator(args []string) error {
 	listen := fs.String("listen", ":9090", "listen address")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-signer request timeout")
 	cache := fs.Int("cache", 0, "signature LRU cache size (0 = default, negative disables)")
+	batchWindow := fs.Duration("batch-window", 0,
+		"collect concurrent sign requests for this long and fan them out as one batch (0 disables)")
+	maxBatch := fs.Int("max-batch", 0, "max messages per batch (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +124,7 @@ func cmdCoordinator(args []string) error {
 	}
 	coord, err := service.NewCoordinator(group, urls, service.CoordinatorConfig{
 		SignerTimeout: *timeout, CacheSize: *cache,
+		BatchWindow: *batchWindow, MaxBatch: *maxBatch,
 	})
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 
 	"repro/internal/bn254"
 )
@@ -39,33 +40,29 @@ func BatchVerify(pk *PublicKey, entries []BatchEntry, rng io.Reader) (bool, erro
 	if len(entries) == 0 {
 		return false, errors.New("core: empty batch")
 	}
-	if rng == nil {
-		rng = rand.Reader
+	for i, e := range entries {
+		if e.Sig == nil || e.Sig.Z == nil || e.Sig.R == nil {
+			return false, fmt.Errorf("core: batch entry %d has no signature", i)
+		}
 	}
-	bound := new(big.Int).Lsh(big.NewInt(1), batchWeightBits)
+	weights, err := sampleWeights(len(entries), rng)
+	if err != nil {
+		return false, err
+	}
 
 	zs := make([]*bn254.G1, 0, len(entries))
 	rs := make([]*bn254.G1, 0, len(entries))
-	weights := make([]*big.Int, 0, len(entries))
 	// Pairing slots for the hash vectors.
 	g1s := make([]*bn254.G1, 0, 2*len(entries)+2)
 	g2s := make([]*bn254.G2, 0, 2*len(entries)+2)
 
 	for i, e := range entries {
-		if e.Sig == nil || e.Sig.Z == nil || e.Sig.R == nil {
-			return false, fmt.Errorf("core: batch entry %d has no signature", i)
-		}
-		delta, err := rand.Int(rng, bound)
-		if err != nil {
-			return false, fmt.Errorf("core: sampling batch weight: %w", err)
-		}
-		weights = append(weights, delta)
 		zs = append(zs, e.Sig.Z)
 		rs = append(rs, e.Sig.R)
 		h := pk.Params.HashMessage(e.Msg)
 		var h1, h2 bn254.G1
-		h1.ScalarMult(h[0], delta)
-		h2.ScalarMult(h[1], delta)
+		h1.ScalarMult(h[0], weights[i])
+		h2.ScalarMult(h[1], weights[i])
 		g1s = append(g1s, &h1, &h2)
 		g2s = append(g2s, pk.G1, pk.G2)
 	}
@@ -80,4 +77,191 @@ func BatchVerify(pk *PublicKey, entries []BatchEntry, rng io.Reader) (bool, erro
 	g1s = append(g1s, zAgg, rAgg)
 	g2s = append(g2s, pk.Params.LH.Gz, pk.Params.LH.Gr)
 	return bn254.PairingCheck(g1s, g2s), nil
+}
+
+// ShareBatchEntry is one partial signature to batch-verify: the message
+// it signs and the verification key of the signer that produced it.
+type ShareBatchEntry struct {
+	Msg []byte
+	VK  *VerificationKey
+	PS  *PartialSignature
+}
+
+// sampleWeights draws k independent 128-bit batching weights from rng
+// (crypto/rand when nil).
+func sampleWeights(k int, rng io.Reader) ([]*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	bound := new(big.Int).Lsh(big.NewInt(1), batchWeightBits)
+	weights := make([]*big.Int, k)
+	for j := range weights {
+		delta, err := rand.Int(rng, bound)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling batch weight: %w", err)
+		}
+		weights[j] = delta
+	}
+	return weights, nil
+}
+
+// hashEntries computes (H_1, H_2) for every entry, hashing each distinct
+// message once — the common shapes (one signer on k messages, k signers
+// on one message) both avoid redundant hash-to-curve work.
+func hashEntries(params *Params, entries []ShareBatchEntry) [][]*bn254.G1 {
+	byMsg := make(map[string][]*bn254.G1, len(entries))
+	hs := make([][]*bn254.G1, len(entries))
+	for j, e := range entries {
+		k := string(e.Msg)
+		h, ok := byMsg[k]
+		if !ok {
+			h = params.HashMessage(e.Msg)
+			byMsg[k] = h
+		}
+		hs[j] = h
+	}
+	return hs
+}
+
+// BatchShareVerify checks k partial signatures at once, extending the
+// small-exponent technique of BatchVerify to the Share-Verify relation
+//
+//	e(z_j, g^_z) e(r_j, g^_r) e(H_1j, V^_1,ij) e(H_2j, V^_2,ij) = 1.
+//
+// With random 128-bit weights delta_j, the k relations collapse into one
+// multi-pairing of 2 + 2k slots: the z and r components aggregate as
+// prod z_j^{delta_j} (two multi-exponentiations) and the hash vectors
+// enter the product with exponent delta_j against each signer's key.
+// When every entry carries the same *VerificationKey — one signer
+// answering a k-message batch, the coordinator's hot path — the key
+// slots collapse too and the whole batch is a single 4-slot
+// multi-pairing plus four multi-exponentiations.
+//
+// It returns true only if (with probability 1 - 2^-128) every share is
+// individually valid. Callers needing to know WHICH share is bad after a
+// failure use FindInvalidShares. rng defaults to crypto/rand.
+func BatchShareVerify(pk *PublicKey, entries []ShareBatchEntry, rng io.Reader) (bool, error) {
+	if len(entries) == 0 {
+		return false, errors.New("core: empty share batch")
+	}
+	for j, e := range entries {
+		if e.PS == nil || e.PS.Z == nil || e.PS.R == nil {
+			return false, fmt.Errorf("core: share batch entry %d has no partial signature", j)
+		}
+		if e.VK == nil || e.VK.V1 == nil || e.VK.V2 == nil {
+			return false, fmt.Errorf("core: share batch entry %d has no verification key", j)
+		}
+	}
+	weights, err := sampleWeights(len(entries), rng)
+	if err != nil {
+		return false, err
+	}
+	hs := hashEntries(pk.Params, entries)
+
+	zs := make([]*bn254.G1, len(entries))
+	rs := make([]*bn254.G1, len(entries))
+	sameVK := true
+	for j, e := range entries {
+		zs[j] = e.PS.Z
+		rs[j] = e.PS.R
+		if e.VK != entries[0].VK {
+			sameVK = false
+		}
+	}
+	zAgg, err := bn254.MultiScalarMultG1(zs, weights)
+	if err != nil {
+		return false, err
+	}
+	rAgg, err := bn254.MultiScalarMultG1(rs, weights)
+	if err != nil {
+		return false, err
+	}
+
+	if sameVK {
+		// One signer, k messages: prod_j e(H_kj, V_k)^{delta_j} =
+		// e(prod_j H_kj^{delta_j}, V_k), so two more multi-exponentiations
+		// reduce the check to a 4-slot multi-pairing.
+		h1s := make([]*bn254.G1, len(entries))
+		h2s := make([]*bn254.G1, len(entries))
+		for j := range entries {
+			h1s[j] = hs[j][0]
+			h2s[j] = hs[j][1]
+		}
+		h1Agg, err := bn254.MultiScalarMultG1(h1s, weights)
+		if err != nil {
+			return false, err
+		}
+		h2Agg, err := bn254.MultiScalarMultG1(h2s, weights)
+		if err != nil {
+			return false, err
+		}
+		vk := entries[0].VK
+		return bn254.PairingCheck(
+			[]*bn254.G1{zAgg, rAgg, h1Agg, h2Agg},
+			[]*bn254.G2{pk.Params.LH.Gz, pk.Params.LH.Gr, vk.V1, vk.V2},
+		), nil
+	}
+
+	g1s := make([]*bn254.G1, 0, 2*len(entries)+2)
+	g2s := make([]*bn254.G2, 0, 2*len(entries)+2)
+	g1s = append(g1s, zAgg, rAgg)
+	g2s = append(g2s, pk.Params.LH.Gz, pk.Params.LH.Gr)
+	for j, e := range entries {
+		var h1, h2 bn254.G1
+		h1.ScalarMult(hs[j][0], weights[j])
+		h2.ScalarMult(hs[j][1], weights[j])
+		g1s = append(g1s, &h1, &h2)
+		g2s = append(g2s, e.VK.V1, e.VK.V2)
+	}
+	return bn254.PairingCheck(g1s, g2s), nil
+}
+
+// FindInvalidShares pinpoints the invalid entries of a share batch by
+// bisection: a failing batch is split in half and each half re-checked,
+// so k shares with b bad ones cost O(b log k) batch verifications instead
+// of k individual ones. Entries that are structurally malformed (nil
+// partial or key) are reported as invalid without entering a pairing.
+// The returned indices (into entries) are sorted ascending; an empty
+// result means every share verified.
+func FindInvalidShares(pk *PublicKey, entries []ShareBatchEntry, rng io.Reader) []int {
+	well := make([]ShareBatchEntry, 0, len(entries))
+	pos := make([]int, 0, len(entries)) // original index of well[j]
+	var bad []int
+	for j, e := range entries {
+		if e.PS == nil || e.PS.Z == nil || e.PS.R == nil || e.VK == nil || e.VK.V1 == nil || e.VK.V2 == nil {
+			bad = append(bad, j)
+			continue
+		}
+		well = append(well, e)
+		pos = append(pos, j)
+	}
+	var bisect func(entries []ShareBatchEntry, pos []int, suspect bool)
+	bisect = func(entries []ShareBatchEntry, pos []int, suspect bool) {
+		if len(entries) == 0 {
+			return
+		}
+		if len(entries) == 1 {
+			// A single share gets the definitive (weight-free) check.
+			if !ShareVerify(pk, entries[0].VK, entries[0].Msg, entries[0].PS) {
+				bad = append(bad, pos[0])
+			}
+			return
+		}
+		if !suspect {
+			if ok, err := BatchShareVerify(pk, entries, rng); err == nil && ok {
+				return
+			}
+		}
+		mid := len(entries) / 2
+		bisect(entries[:mid], pos[:mid], false)
+		bisect(entries[mid:], pos[mid:], false)
+	}
+	// The caller just watched the whole batch fail, so when no entry was
+	// filtered as malformed the root set is known bad and its batch check
+	// would repeat the most expensive pairing for nothing — start by
+	// splitting. With malformed entries removed the rest may well all
+	// verify, so the root check earns its keep.
+	bisect(well, pos, len(well) == len(entries))
+	sort.Ints(bad)
+	return bad
 }

@@ -99,6 +99,142 @@ func TestBatchVerifyCatchesComplementaryForgeries(t *testing.T) {
 	}
 }
 
+// makeShareBatch signs k distinct messages with one signer, the
+// coordinator's per-signer verification shape.
+func makeShareBatch(t *testing.T, views []*KeyShares, signer, k int) []ShareBatchEntry {
+	t.Helper()
+	entries := make([]ShareBatchEntry, k)
+	for i := 0; i < k; i++ {
+		msg := []byte(fmt.Sprintf("share batch message %d", i))
+		ps, err := ShareSign(fixtureParams, views[signer].Share, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[i] = ShareBatchEntry{Msg: msg, VK: views[1].VKs[signer], PS: ps}
+	}
+	return entries
+}
+
+func TestBatchShareVerifyAcceptsValidBatch(t *testing.T) {
+	views := keyFixture(t)
+	// One signer, k messages: the collapsed 4-slot path.
+	entries := makeShareBatch(t, views, 2, 6)
+	ok, err := BatchShareVerify(views[1].PK, entries, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid one-signer batch rejected")
+	}
+	// Single-entry batch degenerates to ordinary share verification.
+	ok, err = BatchShareVerify(views[1].PK, entries[:1], rand.Reader)
+	if err != nil || !ok {
+		t.Fatalf("single-entry share batch failed: %v %v", ok, err)
+	}
+}
+
+func TestBatchShareVerifyAcceptsCrossSignerBatch(t *testing.T) {
+	// k signers on one message: distinct VKs exercise the general
+	// 2+2k-slot path.
+	views := keyFixture(t)
+	msg := []byte("one message, many signers")
+	var entries []ShareBatchEntry
+	for i := 1; i <= fixtureN; i++ {
+		ps, err := ShareSign(fixtureParams, views[i].Share, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, ShareBatchEntry{Msg: msg, VK: views[1].VKs[i], PS: ps})
+	}
+	ok, err := BatchShareVerify(views[1].PK, entries, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid cross-signer batch rejected")
+	}
+}
+
+func TestBatchShareVerifyRejectsTamperedShare(t *testing.T) {
+	views := keyFixture(t)
+	for _, sameVK := range []bool{true, false} {
+		entries := makeShareBatch(t, views, 3, 5)
+		if !sameVK {
+			// Replace one entry with a share from a different signer so the
+			// general path is taken.
+			ps, err := ShareSign(fixtureParams, views[4].Share, entries[4].Msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries[4] = ShareBatchEntry{Msg: entries[4].Msg, VK: views[1].VKs[4], PS: ps}
+		}
+		entries[2].PS = &PartialSignature{Index: 3, Z: entries[2].PS.R, R: entries[2].PS.Z}
+		ok, err := BatchShareVerify(views[1].PK, entries, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("batch with a tampered share accepted (sameVK=%v)", sameVK)
+		}
+	}
+}
+
+func TestBatchShareVerifyRejectsWrongKeyAssignment(t *testing.T) {
+	// A valid share attributed to the wrong signer must not slip through.
+	views := keyFixture(t)
+	entries := makeShareBatch(t, views, 1, 4)
+	entries[1].VK = views[1].VKs[2]
+	ok, err := BatchShareVerify(views[1].PK, entries, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("batch with a misattributed share accepted")
+	}
+}
+
+func TestFindInvalidSharesPinpointsByzantine(t *testing.T) {
+	views := keyFixture(t)
+	entries := makeShareBatch(t, views, 2, 8)
+	// Corrupt exactly entries 1 and 6; bisection must isolate them and
+	// nothing else.
+	for _, j := range []int{1, 6} {
+		entries[j].PS = &PartialSignature{Index: 2, Z: entries[j].PS.R, R: entries[j].PS.Z}
+	}
+	bad := FindInvalidShares(views[1].PK, entries, rand.Reader)
+	if len(bad) != 2 || bad[0] != 1 || bad[1] != 6 {
+		t.Fatalf("bisection found %v, want [1 6]", bad)
+	}
+	// An all-valid batch yields no suspects.
+	if bad := FindInvalidShares(views[1].PK, makeShareBatch(t, views, 4, 5), rand.Reader); len(bad) != 0 {
+		t.Fatalf("valid batch flagged %v", bad)
+	}
+	// Structurally broken entries are reported without pairing work.
+	entries = makeShareBatch(t, views, 2, 3)
+	entries[0].PS = nil
+	bad = FindInvalidShares(views[1].PK, entries, rand.Reader)
+	if len(bad) != 1 || bad[0] != 0 {
+		t.Fatalf("nil entry flagged as %v, want [0]", bad)
+	}
+}
+
+func TestBatchShareVerifyInputValidation(t *testing.T) {
+	views := keyFixture(t)
+	if _, err := BatchShareVerify(views[1].PK, nil, rand.Reader); err == nil {
+		t.Fatal("accepted empty share batch")
+	}
+	entries := makeShareBatch(t, views, 1, 2)
+	entries[1].PS = nil
+	if _, err := BatchShareVerify(views[1].PK, entries, rand.Reader); err == nil {
+		t.Fatal("accepted entry without partial signature")
+	}
+	entries = makeShareBatch(t, views, 1, 2)
+	entries[0].VK = nil
+	if _, err := BatchShareVerify(views[1].PK, entries, rand.Reader); err == nil {
+		t.Fatal("accepted entry without verification key")
+	}
+}
+
 func TestBatchVerifyInputValidation(t *testing.T) {
 	views := keyFixture(t)
 	if _, err := BatchVerify(views[1].PK, nil, rand.Reader); err == nil {

@@ -1,0 +1,787 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// countPath counts POST hits on one path across all signers.
+func countPath(hits *atomic.Int64, path string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == path {
+			hits.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// batchMsgs builds k distinct messages.
+func batchMsgs(prefix string, k int) [][]byte {
+	msgs := make([][]byte, k)
+	for j := range msgs {
+		msgs[j] = []byte(fmt.Sprintf("%s #%d", prefix, j))
+	}
+	return msgs
+}
+
+// ---- signer /v1/sign-batch ----
+
+func TestSignerSignBatch(t *testing.T) {
+	f := testFixture(t)
+	srv := httptest.NewServer(newTestSigner(t, f, 3))
+	defer srv.Close()
+
+	msgs := batchMsgs("signer batch", 5)
+	body, _ := json.Marshal(SignBatchRequest{Messages: msgs})
+	resp, err := http.Post(srv.URL+"/v1/sign-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pr PartialBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Index != 3 || len(pr.Partials) != len(msgs) {
+		t.Fatalf("index %d, %d partials", pr.Index, len(pr.Partials))
+	}
+	for j, raw := range pr.Partials {
+		ps, err := core.UnmarshalPartialSignature(raw)
+		if err != nil {
+			t.Fatalf("partial %d: %v", j, err)
+		}
+		if !core.ShareVerify(f.group.PK, f.group.VKs[3], msgs[j], ps) {
+			t.Fatalf("partial %d does not verify for its message", j)
+		}
+	}
+}
+
+func TestSignerSignBatchRejectsBadInput(t *testing.T) {
+	f := testFixture(t)
+	s, err := NewSigner(f.group, f.shares[1], SignerConfig{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/sign-batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	enc := func(msgs [][]byte) []byte {
+		b, _ := json.Marshal(SignBatchRequest{Messages: msgs})
+		return b
+	}
+	if got := post([]byte(`{not json`)); got != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", got)
+	}
+	if got := post(enc(nil)); got != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", got)
+	}
+	if got := post(enc(batchMsgs("too many", 5))); got != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", got)
+	}
+	if got := post(enc([][]byte{[]byte("ok"), nil})); got != http.StatusBadRequest {
+		t.Fatalf("empty message in batch: status %d, want 400", got)
+	}
+	// The single-message endpoint mirrors the missing-message check.
+	resp, err := http.Post(srv.URL+"/v1/sign", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sign without message: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// ---- coordinator batch pipeline ----
+
+// TestEndToEndBatchPipeline is the batched acceptance test: a 16-message
+// batch signed through coordinator + n=7 HTTP signers in one client
+// request, with one signer Byzantine — every message still gets a
+// signature accepted by core.Verify, combined without the liar.
+func TestEndToEndBatchPipeline(t *testing.T) {
+	f := testFixture(t)
+	const byz = 4
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		if i == byz {
+			return tamperSign(h)
+		}
+		return h
+	})
+	coord := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: 60 * time.Second})
+	gateway := httptest.NewServer(coord)
+	defer gateway.Close()
+
+	client := &Client{BaseURL: gateway.URL}
+	msgs := batchMsgs("e2e batch", 16)
+	sigs, resp, err := client.SignBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, sig := range sigs {
+		if sig == nil {
+			t.Fatalf("message %d failed: %s", j, resp.Results[j].Error)
+		}
+		if !core.Verify(f.group.PK, msgs[j], sig) {
+			t.Fatalf("message %d: signature rejected by core.Verify", j)
+		}
+		if contains(resp.Results[j].Signers, byz) {
+			t.Fatalf("message %d combined the Byzantine signer's share", j)
+		}
+		if len(resp.Results[j].Signers) != fixT+1 {
+			t.Fatalf("message %d combined %d shares, want %d", j, len(resp.Results[j].Signers), fixT+1)
+		}
+	}
+	// Determinism: re-batching the same messages is served from cache with
+	// identical bytes.
+	sigs2, resp2, err := client.SignBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range msgs {
+		if !resp2.Results[j].Cached {
+			t.Fatalf("message %d not served from cache on repeat", j)
+		}
+		if !sigs2[j].Z.Equal(sigs[j].Z) || !sigs2[j].R.Equal(sigs[j].R) {
+			t.Fatalf("message %d: cached signature differs", j)
+		}
+	}
+}
+
+func TestSignBatchDeduplicatesAndReportsPerMessage(t *testing.T) {
+	f := testFixture(t)
+	var batchHits atomic.Int64
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return countPath(&batchHits, "/v1/sign-batch", h)
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: 60 * time.Second})
+
+	dup := []byte("batch duplicate")
+	msgs := [][]byte{dup, []byte("batch unique"), dup, nil}
+	results, err := c.SignBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batchHits.Load(); got > int64(fixN) {
+		t.Fatalf("%d signer batch requests, want one per signer (<= %d)", got, fixN)
+	}
+	if !errors.Is(results[3].Err, ErrEmptyMessage) {
+		t.Fatalf("empty message error %v, want ErrEmptyMessage", results[3].Err)
+	}
+	for _, j := range []int{0, 1, 2} {
+		if results[j].Err != nil {
+			t.Fatalf("message %d: %v", j, results[j].Err)
+		}
+		if !core.Verify(f.group.PK, msgs[j], results[j].Sig) {
+			t.Fatalf("message %d: invalid signature", j)
+		}
+	}
+	if !results[0].Sig.Z.Equal(results[2].Sig.Z) {
+		t.Fatal("duplicate messages got different signatures")
+	}
+}
+
+// TestSignBatchCoalescesWithInFlightSign: a message already mid-fan-out
+// via a concurrent Sign call must not fan out a second time when a
+// batch containing it arrives — SignBatch registers its items in the
+// flight group, so the batch coalesces onto the in-flight call and only
+// the genuinely new message travels in the /v1/sign-batch request.
+func TestSignBatchCoalescesWithInFlightSign(t *testing.T) {
+	f := testFixture(t)
+	shared := []byte("coalesce across batch: shared")
+	fresh := []byte("coalesce across batch: fresh")
+	sharedB64 := []byte(base64.StdEncoding.EncodeToString(shared))
+
+	gate := make(chan struct{}) // holds every /v1/sign answer open
+	var signArrived, batchArrived sync.Once
+	signStarted := make(chan struct{})
+	batchStarted := make(chan struct{})
+	var sharedInBatch atomic.Int64
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/v1/sign":
+				signArrived.Do(func() { close(signStarted) })
+				<-gate
+			case "/v1/sign-batch":
+				batchArrived.Do(func() { close(batchStarted) })
+				body, _ := io.ReadAll(r.Body)
+				if bytes.Contains(body, sharedB64) {
+					sharedInBatch.Add(1)
+				}
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				r.ContentLength = int64(len(body))
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: 60 * time.Second})
+
+	type signRes struct {
+		sig *core.Signature
+		err error
+	}
+	signCh := make(chan signRes, 1)
+	go func() {
+		sig, _, err := c.Sign(context.Background(), shared)
+		signCh <- signRes{sig, err}
+	}()
+	<-signStarted // the Sign fan-out is in flight (and registered) now
+
+	type batchRes struct {
+		results []BatchResult
+		err     error
+	}
+	batchCh := make(chan batchRes, 1)
+	go func() {
+		results, err := c.SignBatch(context.Background(), [][]byte{shared, fresh})
+		batchCh <- batchRes{results, err}
+	}()
+	// The batch fan-out (which claims flight slots first) has dispatched;
+	// only now let the held-open Sign fan-out answer.
+	<-batchStarted
+	close(gate)
+
+	sr := <-signCh
+	if sr.err != nil {
+		t.Fatalf("concurrent Sign: %v", sr.err)
+	}
+	br := <-batchCh
+	if br.err != nil {
+		t.Fatalf("SignBatch: %v", br.err)
+	}
+	if n := sharedInBatch.Load(); n != 0 {
+		t.Fatalf("the in-flight message rode %d /v1/sign-batch requests, want 0 (coalesced)", n)
+	}
+	if err := br.results[0].Err; err != nil {
+		t.Fatalf("shared message: %v", err)
+	}
+	if !br.results[0].Report.Coalesced {
+		t.Fatal("shared message not reported as coalesced")
+	}
+	if !br.results[0].Sig.Z.Equal(sr.sig.Z) || !br.results[0].Sig.R.Equal(sr.sig.R) {
+		t.Fatal("coalesced batch result differs from the Sign result")
+	}
+	if err := br.results[1].Err; err != nil {
+		t.Fatalf("fresh message: %v", err)
+	}
+	if !core.Verify(f.group.PK, fresh, br.results[1].Sig) {
+		t.Fatal("fresh message: invalid signature")
+	}
+}
+
+// TestBatchBisectionIsolatesSingleBadShare pins down the bisection
+// property end to end: a signer that tampers with exactly ONE message of
+// the batch must lose only that share — its other shares still count.
+// With t signers down, every remaining signer's share is needed, so the
+// tampered message must fail quorum while every other message succeeds
+// with the part-time liar's help.
+func TestBatchBisectionIsolatesSingleBadShare(t *testing.T) {
+	f := testFixture(t)
+	const liar, badMsg = 2, 1
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		if i == liar {
+			return tamperBatchSelect(h, func(j int) bool { return j == badMsg })
+		}
+		return h
+	})
+	for _, i := range []int{5, 6, 7} { // t = 3 signers down
+		urls[i-1] = downURL(t)
+	}
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: 60 * time.Second})
+
+	msgs := batchMsgs("bisect", 4)
+	results, err := c.SignBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, res := range results {
+		if j == badMsg {
+			var qe *QuorumError
+			if !errors.As(res.Err, &qe) {
+				t.Fatalf("tampered message: got %v, want QuorumError", res.Err)
+			}
+			if !contains(qe.Invalid, liar) {
+				t.Fatalf("tampered message: liar %d not in invalid list %v", liar, qe.Invalid)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("clean message %d failed: %v", j, res.Err)
+		}
+		if !contains(res.Report.Signers, liar) {
+			// All 4 reachable signers are required for quorum, so the
+			// liar's valid shares must have been accepted.
+			t.Fatalf("clean message %d did not use the liar's valid share (signers %v)", j, res.Report.Signers)
+		}
+		if !core.Verify(f.group.PK, msgs[j], res.Sig) {
+			t.Fatalf("clean message %d: invalid signature", j)
+		}
+	}
+}
+
+// ---- the window batcher behind Sign ----
+
+func TestBatcherMergesConcurrentSigns(t *testing.T) {
+	f := testFixture(t)
+	var singleHits, batchHits atomic.Int64
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return countPath(&singleHits, "/v1/sign", countPath(&batchHits, "/v1/sign-batch", h))
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{
+		SignerTimeout: 60 * time.Second, // generous: -race on a small box serializes the pairing work
+		BatchWindow:   100 * time.Millisecond,
+	})
+
+	const callers = 12
+	msgs := batchMsgs("merge", callers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	errs := make([]error, callers)
+	sigs := make([]*core.Signature, callers)
+	for k := range callers {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			sigs[k], _, errs[k] = c.Sign(context.Background(), msgs[k])
+		}()
+	}
+	start.Done()
+	done.Wait()
+	for k := range callers {
+		if errs[k] != nil {
+			t.Fatalf("caller %d: %v", k, errs[k])
+		}
+		if !core.Verify(f.group.PK, msgs[k], sigs[k]) {
+			t.Fatalf("caller %d: invalid signature", k)
+		}
+	}
+	if singleHits.Load() != 0 {
+		t.Fatalf("%d single-sign requests with batching enabled, want 0", singleHits.Load())
+	}
+	// 12 distinct messages would cost 12 fan-outs (12n requests) without
+	// the batcher; merged windows must stay well below that. Scheduling
+	// jitter can split the callers across a couple of windows, so allow
+	// up to three.
+	if got := batchHits.Load(); got > int64(3*fixN) {
+		t.Fatalf("%d signer batch requests for %d concurrent messages, want <= %d", got, callers, 3*fixN)
+	}
+	t.Logf("%d concurrent distinct messages -> %d batch requests (vs %d unbatched)",
+		callers, batchHits.Load(), callers*fixN)
+}
+
+func TestBatcherFillsToMaxAndDispatchesEarly(t *testing.T) {
+	f := testFixture(t)
+	urls := startSigners(t, f, nil)
+	// A very long window: only the MaxBatch fill limit can dispatch the
+	// batch, proving the early-dispatch path works.
+	c := newTestCoordinator(t, urls, CoordinatorConfig{
+		SignerTimeout: 60 * time.Second,
+		BatchWindow:   time.Hour,
+		MaxBatch:      4,
+	})
+	msgs := batchMsgs("fill", 4)
+	var done sync.WaitGroup
+	errs := make([]error, len(msgs))
+	for k := range msgs {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			_, _, errs[k] = c.Sign(context.Background(), msgs[k])
+		}()
+	}
+	ok := make(chan struct{})
+	go func() { done.Wait(); close(ok) }()
+	select {
+	case <-ok:
+	case <-time.After(30 * time.Second):
+		t.Fatal("full batch never dispatched before the window closed")
+	}
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", k, err)
+		}
+	}
+}
+
+func TestBatcherFallsBackOnLegacySigners(t *testing.T) {
+	f := testFixture(t)
+	var singleHits atomic.Int64
+	// Signers that predate the batch endpoint: /v1/sign-batch is 404.
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return countPath(&singleHits, "/v1/sign", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sign-batch" {
+				http.NotFound(w, r)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: 60 * time.Second})
+	msgs := batchMsgs("legacy", 3)
+	results, err := c.SignBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, res := range results {
+		if res.Err != nil {
+			t.Fatalf("message %d: %v", j, res.Err)
+		}
+		if !core.Verify(f.group.PK, msgs[j], res.Sig) {
+			t.Fatalf("message %d: invalid signature", j)
+		}
+	}
+	if singleHits.Load() == 0 {
+		t.Fatal("fallback never used the legacy /v1/sign endpoint")
+	}
+}
+
+func TestBatcherSplitsOnByteBudget(t *testing.T) {
+	f := testFixture(t)
+	var batchHits atomic.Int64
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return countPath(&batchHits, "/v1/sign-batch", h)
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{
+		SignerTimeout: 60 * time.Second,
+		BatchWindow:   200 * time.Millisecond,
+	})
+	// Three ~500 KiB messages: any two of them would encode past the
+	// signers' 1 MiB request cap, so the batcher must split them into
+	// separate fan-outs instead of merging a body the signers refuse.
+	msgs := make([][]byte, 3)
+	for k := range msgs {
+		msgs[k] = bytes.Repeat([]byte{byte('a' + k)}, 500<<10)
+	}
+	var done sync.WaitGroup
+	errs := make([]error, len(msgs))
+	sigs := make([]*core.Signature, len(msgs))
+	for k := range msgs {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			sigs[k], _, errs[k] = c.Sign(context.Background(), msgs[k])
+		}()
+	}
+	done.Wait()
+	for k := range msgs {
+		if errs[k] != nil {
+			t.Fatalf("message %d: %v", k, errs[k])
+		}
+		if !core.Verify(f.group.PK, msgs[k], sigs[k]) {
+			t.Fatalf("message %d: invalid signature", k)
+		}
+	}
+	// Each oversized message must have traveled in its own batch: three
+	// fan-outs, not one rejected mega-batch (and not the 4th a merged
+	// batch would need after the signers 400 it).
+	if got := batchHits.Load(); got < int64(3) {
+		t.Fatalf("%d batch requests for 3 over-budget messages, want >= 3 (split fan-outs)", got)
+	}
+}
+
+func TestBatchFallsBackWhenSignerMaxBatchIsSmaller(t *testing.T) {
+	// A fleet misconfiguration the coordinator must survive: signers
+	// capped at -max-batch 2 behind a coordinator batching 4. The batch
+	// POST is 400ed by every signer; the per-message fallback must still
+	// produce every signature.
+	f := testFixture(t)
+	var singleHits atomic.Int64
+	urls := make([]string, f.group.N)
+	for i := 1; i <= f.group.N; i++ {
+		s, err := NewSigner(f.group, f.shares[i], SignerConfig{MaxBatch: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(countPath(&singleHits, "/v1/sign", s))
+		t.Cleanup(srv.Close)
+		urls[i-1] = srv.URL
+	}
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: 60 * time.Second})
+	msgs := batchMsgs("mismatch", 4)
+	results, err := c.SignBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, res := range results {
+		if res.Err != nil {
+			t.Fatalf("message %d: %v", j, res.Err)
+		}
+		if !core.Verify(f.group.PK, msgs[j], res.Sig) {
+			t.Fatalf("message %d: invalid signature", j)
+		}
+	}
+	if singleHits.Load() == 0 {
+		t.Fatal("count-mismatch fallback never reached /v1/sign")
+	}
+}
+
+func TestBatchFallbackSurvivesPerMessageFailures(t *testing.T) {
+	// Legacy signers (no batch endpoint) that 503 exactly one message of
+	// the fallback sequence: the poisoned message must fail as
+	// UNREACHABLE — not Byzantine — while the signers' other answers are
+	// kept and every other message succeeds.
+	f := testFixture(t)
+	poison := []byte("batch fallback poison")
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sign-batch" {
+				http.NotFound(w, r)
+				return
+			}
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/sign" {
+				var req SignRequest
+				body, _ := io.ReadAll(r.Body)
+				if json.Unmarshal(body, &req) == nil && bytes.Equal(req.Message, poison) {
+					writeError(w, http.StatusServiceUnavailable, "injected overload")
+					return
+				}
+				r.Body = io.NopCloser(bytes.NewReader(body))
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: 60 * time.Second})
+	msgs := [][]byte{[]byte("fallback ok A"), poison, []byte("fallback ok B")}
+	results, err := c.SignBatch(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qe *QuorumError
+	if !errors.As(results[1].Err, &qe) {
+		t.Fatalf("poisoned message: got %v, want QuorumError", results[1].Err)
+	}
+	if len(qe.Invalid) != 0 || len(qe.Unreachable) != fixN {
+		t.Fatalf("poisoned message accounting: invalid=%v unreachable=%v, want all %d unreachable", qe.Invalid, qe.Unreachable, fixN)
+	}
+	for _, j := range []int{0, 2} {
+		if results[j].Err != nil {
+			t.Fatalf("clean message %d: %v", j, results[j].Err)
+		}
+		if !core.Verify(f.group.PK, msgs[j], results[j].Sig) {
+			t.Fatalf("clean message %d: invalid signature", j)
+		}
+	}
+}
+
+// ---- coordinator HTTP input validation ----
+
+func TestCoordinatorRejectsBadInputWith400(t *testing.T) {
+	// Signers deliberately down: a 400 must be issued BEFORE any fan-out,
+	// so their absence can never turn client mistakes into 502s.
+	urls := make([]string, fixN)
+	for i := range urls {
+		urls[i] = downURL(t)
+	}
+	coord := newTestCoordinator(t, urls, CoordinatorConfig{SignerTimeout: time.Second})
+	gateway := httptest.NewServer(coord)
+	defer gateway.Close()
+
+	post := func(path string, body string) int {
+		t.Helper()
+		resp, err := http.Post(gateway.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name, path, body string
+	}{
+		{"sign missing message", "/v1/sign", `{}`},
+		{"sign empty message", "/v1/sign", `{"message":""}`},
+		{"sign malformed json", "/v1/sign", `{not json`},
+		{"batch missing messages", "/v1/sign-batch", `{}`},
+		{"batch malformed json", "/v1/sign-batch", `{not json`},
+	}
+	for _, tc := range cases {
+		if got := post(tc.path, tc.body); got != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, got)
+		}
+	}
+	// A well-formed request against down signers is still a gateway
+	// failure, not a client error.
+	if got := post("/v1/sign", `{"message":"aGVsbG8="}`); got != http.StatusBadGateway {
+		t.Errorf("valid request, down backends: status %d, want 502", got)
+	}
+}
+
+// ---- regression: flightGroup leader panic safety ----
+
+func TestFlightGroupSurvivesLeaderPanic(t *testing.T) {
+	g := newFlightGroup()
+	var key cacheKey
+	key[0] = 7
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		_, _, _ = g.do(context.Background(), key, func() (*signOutcome, error) {
+			close(leaderIn)
+			<-release
+			panic("sign exploded")
+		})
+	}()
+	<-leaderIn
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), key, func() (*signOutcome, error) {
+			t.Error("follower became a second leader while the first was in flight")
+			return nil, nil
+		})
+		followerDone <- err
+	}()
+	// Let the follower attach to the in-flight call, then blow it up.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if r := <-leaderDone; r == nil {
+		t.Fatal("leader's panic was swallowed")
+	}
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, errFlightPanic) {
+			t.Fatalf("follower got %v, want errFlightPanic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower deadlocked after leader panic")
+	}
+	// The key must be free again: a fresh call runs fn.
+	ran := false
+	_, coalesced, err := g.do(context.Background(), key, func() (*signOutcome, error) {
+		ran = true
+		return &signOutcome{}, nil
+	})
+	if err != nil || !ran || coalesced {
+		t.Fatalf("post-panic call: ran=%v coalesced=%v err=%v", ran, coalesced, err)
+	}
+}
+
+// ---- regression: sigCache.get defensive copy ----
+
+func TestSigCacheGetReturnsDefensiveCopy(t *testing.T) {
+	c := newSigCache(4)
+	var key cacheKey
+	sig := &core.Signature{}
+	c.add(key, sig, []int{1, 2, 3})
+
+	_, signers, ok := c.get(key)
+	if !ok {
+		t.Fatal("missing entry")
+	}
+	// A caller appending through the returned slice (as anything building
+	// a SignReport might) must not corrupt the cached entry.
+	signers = append(signers[:1], 99)
+	_ = signers
+	_, again, ok := c.get(key)
+	if !ok {
+		t.Fatal("entry vanished")
+	}
+	if len(again) != 3 || again[0] != 1 || again[1] != 2 || again[2] != 3 {
+		t.Fatalf("cached signers corrupted by caller mutation: %v", again)
+	}
+}
+
+// ---- concurrency under -race: cache + coalesce + batcher together ----
+
+func TestConcurrentMixedTrafficWithByzantineSigner(t *testing.T) {
+	f := testFixture(t)
+	urls := startSigners(t, f, func(i int, h http.Handler) http.Handler {
+		if i == 6 {
+			return tamperSign(h) // Byzantine for every request, batched or not
+		}
+		return h
+	})
+	c := newTestCoordinator(t, urls, CoordinatorConfig{
+		SignerTimeout: 60 * time.Second, // the race detector serializes the pairing work
+		BatchWindow:   20 * time.Millisecond,
+		CacheSize:     8, // small: force evictions under load
+	})
+
+	var wg sync.WaitGroup
+	fail := make(chan error, 64)
+	check := func(msg []byte, sig *core.Signature, err error) {
+		if err != nil {
+			fail <- err
+			return
+		}
+		if !core.Verify(f.group.PK, msg, sig) {
+			fail <- fmt.Errorf("invalid signature for %q", msg)
+		}
+	}
+	for k := range 4 {
+		// Duplicate Sign traffic: exercises cache + coalescing + batcher.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("mixed dup %d", k%2))
+			for range 2 {
+				sig, _, err := c.Sign(context.Background(), msg)
+				check(msg, sig, err)
+			}
+		}()
+		// Distinct Sign traffic: fills batch windows.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("mixed distinct %d", k))
+			sig, _, err := c.Sign(context.Background(), msg)
+			check(msg, sig, err)
+		}()
+		// Direct SignBatch traffic in parallel with everything else.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msgs := [][]byte{
+				[]byte(fmt.Sprintf("mixed batch %d-a", k%3)),
+				[]byte(fmt.Sprintf("mixed batch %d-b", k%3)),
+			}
+			results, err := c.SignBatch(context.Background(), msgs)
+			if err != nil {
+				fail <- err
+				return
+			}
+			for j, res := range results {
+				if res.Err != nil {
+					fail <- res.Err
+					continue
+				}
+				check(msgs[j], res.Sig, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+}

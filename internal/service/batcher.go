@@ -1,0 +1,383 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// batcher collects concurrent Sign calls for DISTINCT messages into one
+// fan-out round-trip per signer: the first message opens a window of
+// BatchWindow, every message arriving before it closes (or the batch
+// filling to MaxBatch) joins, and the whole batch travels in a single
+// POST /v1/sign-batch to each signer. This is the complement of the
+// coalescing layer — flightGroup collapses duplicates of ONE message,
+// the batcher amortizes HTTP round-trips across DIFFERENT messages.
+//
+// Each signer's k returned shares are checked with one
+// core.BatchShareVerify call (a single multi-pairing) instead of k
+// Share-Verify multi-pairings; when that batch check fails, bisection
+// pinpoints exactly the Byzantine shares and the rest still count.
+type batcher struct {
+	coord  *Coordinator
+	window time.Duration
+	max    int
+
+	mu  sync.Mutex
+	cur *formingBatch // nil when no batch is collecting
+}
+
+// formingBatch is a batch still inside its collection window.
+type formingBatch struct {
+	items map[cacheKey]*batchItem
+	order []*batchItem
+	bytes int // estimated encoded size of the /v1/sign-batch body so far
+}
+
+// batchBytesBudget caps the estimated body size of a merged batch below
+// the signers' maxRequestBytes inbound limit, with headroom for JSON
+// framing slack: count alone must not produce a batch the signers will
+// refuse to read.
+const batchBytesBudget = maxRequestBytes - 8192
+
+// estEncodedBytes approximates one message's share of the JSON body:
+// base64 inflates by 4/3, plus quotes and separator.
+func estEncodedBytes(n int) int { return 4*(n+2)/3 + 4 }
+
+// batchItem is one message riding a batch; done is closed once out/err
+// are set. Several waiters may select on done (duplicate submissions of
+// one message join the same item).
+type batchItem struct {
+	msg  []byte
+	key  cacheKey
+	done chan struct{}
+	out  *signOutcome
+	err  error
+}
+
+func (it *batchItem) complete(out *signOutcome, err error) {
+	it.out, it.err = out, err
+	close(it.done)
+}
+
+func newBatcher(c *Coordinator, window time.Duration, max int) *batcher {
+	return &batcher{coord: c, window: window, max: max}
+}
+
+// sign joins the forming batch and waits for this message's outcome. The
+// batch itself runs detached from any single caller's context: it serves
+// every joined caller, and its lifetime is already bounded by the
+// per-signer timeouts — so a caller hanging up only stops that caller's
+// wait.
+func (b *batcher) sign(ctx context.Context, msg []byte, key cacheKey) (*signOutcome, error) {
+	it := b.join(msg, key)
+	select {
+	case <-it.done:
+		return it.out, it.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// join adds the message to the forming batch, opening a new window when
+// none is collecting and dispatching the batch early when it fills —
+// by message count or by the encoded-bytes budget.
+func (b *batcher) join(msg []byte, key cacheKey) *batchItem {
+	est := estEncodedBytes(len(msg))
+	b.mu.Lock()
+	if b.cur != nil {
+		if it, ok := b.cur.items[key]; ok {
+			b.mu.Unlock()
+			return it
+		}
+		if b.cur.bytes+est > batchBytesBudget {
+			// This message would push the batch body past what the signers
+			// accept: send the current batch on its way and start a fresh
+			// one. (A single oversized message forms a batch of one, which
+			// fails exactly as it would unbatched.)
+			full := b.cur
+			b.cur = nil
+			go b.coord.batchFanOut(context.Background(), full.order)
+		}
+	}
+	it := &batchItem{msg: msg, key: key, done: make(chan struct{})}
+	if b.cur == nil {
+		fb := &formingBatch{items: make(map[cacheKey]*batchItem, b.max)}
+		b.cur = fb
+		time.AfterFunc(b.window, func() { b.dispatch(fb) })
+	}
+	fb := b.cur
+	fb.items[key] = it
+	fb.order = append(fb.order, it)
+	fb.bytes += est
+	if len(fb.order) >= b.max {
+		b.cur = nil // full: dispatch now; the window timer becomes a no-op
+		b.mu.Unlock()
+		go b.coord.batchFanOut(context.Background(), fb.order)
+		return it
+	}
+	b.mu.Unlock()
+	return it
+}
+
+// dispatch closes the window for fb, unless it already went out full.
+func (b *batcher) dispatch(fb *formingBatch) {
+	b.mu.Lock()
+	if b.cur != fb {
+		b.mu.Unlock()
+		return
+	}
+	b.cur = nil
+	b.mu.Unlock()
+	b.coord.batchFanOut(context.Background(), fb.order)
+}
+
+// msgState tracks one in-flight message of a batch fan-out.
+type msgState struct {
+	valid       []*core.PartialSignature
+	signers     []int
+	invalid     []int
+	unreachable []int
+	done        bool
+}
+
+// batchFanOut signs every item's message with ONE request per signer,
+// verifies each signer's returned shares with one BatchShareVerify call,
+// and completes each item the moment it holds t+1 valid shares. Items
+// that never reach quorum are completed with a QuorumError; the laggard
+// signer requests are canceled as soon as every message is settled.
+func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
+	// A panic must not strand the batch: an item whose done channel never
+	// closes wedges its flight-group key forever (SignBatch's relay
+	// goroutines block on <-it.done), and on the window batcher's
+	// detached goroutines an unrecovered panic kills the whole process.
+	// The panic is converted into each pending item's error instead —
+	// every completion happens on this goroutine, so probing done cannot
+	// race a concurrent complete.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		err := fmt.Errorf("service: batch fan-out panicked: %v", r)
+		for _, it := range items {
+			select {
+			case <-it.done:
+			default:
+				it.complete(nil, err)
+			}
+		}
+	}()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	msgs := make([][]byte, len(items))
+	for j, it := range items {
+		msgs[j] = it.msg
+	}
+	body, err := json.Marshal(SignBatchRequest{Messages: msgs})
+	if err != nil {
+		for _, it := range items {
+			it.complete(nil, err)
+		}
+		return
+	}
+
+	type signerResult struct {
+		index int
+		parts []*core.PartialSignature // parts[j] answers msgs[j]; nil = missing
+		errs  []error                  // errs[j] non-nil = transport failure for msgs[j] only
+		err   error                    // whole-signer failure
+	}
+	results := make(chan signerResult, c.group.N)
+	for i := 1; i <= c.group.N; i++ {
+		go func(i int) {
+			parts, errs, err := c.fetchPartialBatch(ctx, i, msgs, body)
+			results <- signerResult{index: i, parts: parts, errs: errs, err: err}
+		}(i)
+	}
+
+	need := c.group.T + 1
+	states := make([]*msgState, len(items))
+	for j := range states {
+		states[j] = &msgState{valid: make([]*core.PartialSignature, 0, need)}
+	}
+	remaining := len(items)
+	for received := 0; received < c.group.N && remaining > 0; received++ {
+		var r signerResult
+		select {
+		case r = <-results:
+		case <-ctx.Done():
+			for j, st := range states {
+				if !st.done {
+					items[j].complete(nil, ctx.Err())
+				}
+			}
+			return
+		}
+		if r.err != nil {
+			for _, st := range states {
+				if !st.done {
+					st.unreachable = append(st.unreachable, r.index)
+				}
+			}
+			continue
+		}
+		// One batched pairing check covers every still-pending message this
+		// signer answered; completed messages skip verification entirely.
+		entries := make([]core.ShareBatchEntry, 0, remaining)
+		idxs := make([]int, 0, remaining)
+		for j, st := range states {
+			if st.done {
+				continue
+			}
+			if r.errs != nil && r.errs[j] != nil {
+				// The per-message fallback failed for this message only.
+				st.unreachable = append(st.unreachable, r.index)
+				continue
+			}
+			ps := r.parts[j]
+			if ps == nil || ps.Index != r.index {
+				// Undecodable bytes or a replayed share under another index:
+				// Byzantine either way.
+				st.invalid = append(st.invalid, r.index)
+				continue
+			}
+			entries = append(entries, core.ShareBatchEntry{Msg: items[j].msg, VK: c.group.VKs[r.index], PS: ps})
+			idxs = append(idxs, j)
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		bad := map[int]bool{}
+		if ok, err := core.BatchShareVerify(c.group.PK, entries, nil); err != nil || !ok {
+			// The batch failed: bisection isolates exactly the bad shares,
+			// so one Byzantine answer cannot poison the signer's whole batch.
+			for _, p := range core.FindInvalidShares(c.group.PK, entries, nil) {
+				bad[p] = true
+			}
+		}
+		for p, j := range idxs {
+			st := states[j]
+			if bad[p] {
+				st.invalid = append(st.invalid, r.index)
+				continue
+			}
+			st.valid = append(st.valid, entries[p].PS)
+			st.signers = append(st.signers, r.index)
+			if len(st.valid) < need {
+				continue
+			}
+			st.done = true
+			remaining--
+			sig, err := core.CombinePreverified(st.valid, c.group.T)
+			if err == nil && !core.Verify(c.group.PK, items[j].msg, sig) {
+				err = fmt.Errorf("service: combined signature failed verification")
+			}
+			if err != nil {
+				items[j].complete(nil, err)
+				continue
+			}
+			out := &signOutcome{sig: sig, signers: st.signers, invalid: st.invalid, unreachable: st.unreachable}
+			c.cache.add(items[j].key, sig, st.signers)
+			items[j].complete(out, nil)
+		}
+	}
+	cancel() // release the laggards
+	for j, st := range states {
+		if !st.done {
+			items[j].complete(nil, &QuorumError{
+				Need: need, Valid: len(st.valid),
+				Invalid: st.invalid, Unreachable: st.unreachable,
+			})
+		}
+	}
+}
+
+// fetchPartialBatch requests one signer's shares for a whole batch; the
+// batch POST itself is bounded by SignerTimeout. A signer that rejects
+// the batch request as such — no /v1/sign-batch endpoint (an older
+// build), a smaller -max-batch than the coordinator's, or a tighter
+// body-size limit — transparently falls back to per-message /v1/sign
+// requests, so mixed and misconfigured fleets degrade to the unbatched
+// protocol instead of failing. parts[j] is nil when that one partial
+// failed to decode (the caller treats it as Byzantine); errs[j] is
+// non-nil when the fallback could not reach the signer for message j
+// only. Either way the signer's other answers still count.
+func (c *Coordinator) fetchPartialBatch(ctx context.Context, index int, msgs [][]byte, body []byte) ([]*core.PartialSignature, []error, error) {
+	bctx, cancel := context.WithTimeout(ctx, c.cfg.SignerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(bctx, http.MethodPost, c.urls[index-1]+"/v1/sign-batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return nil, nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound, http.StatusMethodNotAllowed,
+		http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		// The fallback runs under the fan-out's context, NOT the batch
+		// request's expiring timeout: each /v1/sign request gets its own
+		// SignerTimeout inside fetchPartial.
+		return c.fetchPartialsSequentially(ctx, index, msgs)
+	case http.StatusOK:
+	default:
+		return nil, nil, fmt.Errorf("signer %d: status %d: %s", index, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var pr PartialBatchResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return nil, nil, fmt.Errorf("signer %d: %w", index, err)
+	}
+	if len(pr.Partials) != len(msgs) {
+		return nil, nil, fmt.Errorf("signer %d: %d partials for a %d-message batch", index, len(pr.Partials), len(msgs))
+	}
+	parts := make([]*core.PartialSignature, len(msgs))
+	for j, raw := range pr.Partials {
+		if ps, err := core.UnmarshalPartialSignature(raw); err == nil {
+			parts[j] = ps
+		}
+	}
+	return parts, nil, nil
+}
+
+// fetchPartialsSequentially is the fallback for signers that cannot take
+// the batch as one request: one /v1/sign call per message, each with its
+// own SignerTimeout. Per-message failures are recorded in errs and do
+// not discard the partials already fetched; only a signer that failed
+// every message is reported as wholly unreachable.
+func (c *Coordinator) fetchPartialsSequentially(ctx context.Context, index int, msgs [][]byte) ([]*core.PartialSignature, []error, error) {
+	parts := make([]*core.PartialSignature, len(msgs))
+	errs := make([]error, len(msgs))
+	failed := 0
+	for j, msg := range msgs {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		body, err := json.Marshal(SignRequest{Message: msg})
+		if err != nil {
+			return nil, nil, err
+		}
+		if parts[j], errs[j] = c.fetchPartial(ctx, index, body); errs[j] != nil {
+			failed++
+		}
+	}
+	if failed == len(msgs) {
+		return nil, nil, fmt.Errorf("signer %d: every per-message fallback request failed: %w", index, errs[0])
+	}
+	return parts, errs, nil
+}

@@ -42,6 +42,37 @@ func (c *Client) Sign(ctx context.Context, msg []byte) (*core.Signature, *Signat
 	return sig, &sr, nil
 }
 
+// SignBatch requests threshold signatures for every message in one
+// round-trip to the coordinator's /v1/sign-batch endpoint. sigs[j] is
+// the signature for msgs[j], or nil when that message failed — the
+// per-message error strings are in the returned response. The error is
+// non-nil only for transport- or request-level failures.
+func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*core.Signature, *SignBatchResponse, error) {
+	body, err := json.Marshal(SignBatchRequest{Messages: msgs})
+	if err != nil {
+		return nil, nil, err
+	}
+	var br SignBatchResponse
+	if err := c.postJSON(ctx, "/v1/sign-batch", body, &br); err != nil {
+		return nil, nil, err
+	}
+	if len(br.Results) != len(msgs) {
+		return nil, nil, fmt.Errorf("service: coordinator answered %d results for %d messages", len(br.Results), len(msgs))
+	}
+	sigs := make([]*core.Signature, len(msgs))
+	for j, res := range br.Results {
+		if res.Error != "" {
+			continue
+		}
+		sig := new(core.Signature)
+		if err := sig.Unmarshal(res.Signature); err != nil {
+			return nil, nil, fmt.Errorf("service: coordinator returned malformed signature for message %d: %w", j, err)
+		}
+		sigs[j] = sig
+	}
+	return sigs, &br, nil
+}
+
 // FetchPubkey retrieves the group description and reconstructs the
 // public key (parameters are rebuilt from the domain label, exactly as
 // every server derives them).

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
@@ -30,12 +31,35 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{m: make(map[cacheKey]*flightCall)}
 }
 
+// claim registers the caller as leader for key when no call is in
+// flight, returning leader=true; otherwise it returns the in-flight
+// call for the caller to wait on. A leader MUST eventually call finish
+// exactly once, or every future call for key deadlocks.
+func (g *flightGroup) claim(key cacheKey) (call *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if call, ok := g.m[key]; ok {
+		return call, false
+	}
+	call = &flightCall{done: make(chan struct{})}
+	g.m[key] = call
+	return call, true
+}
+
+// finish publishes the leader's result for key and wakes the followers.
+func (g *flightGroup) finish(key cacheKey, call *flightCall, res *signOutcome, err error) {
+	call.res, call.err = res, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(call.done)
+}
+
 // do returns fn's result for key, and whether this caller coalesced onto
 // a leader started by someone else.
 func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() (*signOutcome, error)) (*signOutcome, bool, error) {
-	g.mu.Lock()
-	if call, ok := g.m[key]; ok {
-		g.mu.Unlock()
+	call, leader := g.claim(key)
+	if !leader {
 		select {
 		case <-call.done:
 			return call.res, true, call.err
@@ -43,15 +67,26 @@ func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() (*signOutc
 			return nil, true, ctx.Err()
 		}
 	}
-	call := &flightCall{done: make(chan struct{})}
-	g.m[key] = call
-	g.mu.Unlock()
-
-	call.res, call.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(call.done)
-	return call.res, false, call.err
+	// finish MUST run even if fn panics: otherwise call.done is never
+	// closed and the key stays in g.m, deadlocking every future call for
+	// this message. The panic still propagates to the leader's caller;
+	// followers observe errFlightPanic instead of hanging.
+	var (
+		res      *signOutcome
+		err      error
+		finished bool
+	)
+	defer func() {
+		if !finished {
+			res, err = nil, errFlightPanic
+		}
+		g.finish(key, call, res, err)
+	}()
+	res, err = fn()
+	finished = true
+	return res, false, err
 }
+
+// errFlightPanic is what followers of a coalesced call receive when the
+// leader's fn panicked instead of returning.
+var errFlightPanic = errors.New("service: in-flight sign call panicked")

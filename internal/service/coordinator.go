@@ -24,6 +24,17 @@ type CoordinatorConfig struct {
 	CacheSize int
 	// HTTPClient overrides the client used for signer requests.
 	HTTPClient *http.Client
+	// BatchWindow, when positive, batches concurrent Sign calls for
+	// distinct messages: the first message waits up to BatchWindow for
+	// company, then the whole batch rides one /v1/sign-batch round-trip
+	// per signer. Zero disables batching (every message fans out alone).
+	BatchWindow time.Duration
+	// MaxBatch caps the messages per batch — both the window batcher's
+	// fill limit and the /v1/sign-batch request size. Default
+	// DefaultMaxBatch. Keep the signers' -max-batch at least this large;
+	// a signer that rejects the batch size is served per-message as a
+	// fallback, which works but forfeits the round-trip savings.
+	MaxBatch int
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -35,6 +46,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
 	}
 	return c
 }
@@ -50,15 +64,17 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 //
 // It is also an http.Handler:
 //
-//	POST /v1/sign   {"message": base64} -> SignatureResponse
-//	GET  /v1/pubkey -> PubkeyResponse
-//	GET  /healthz   -> HealthResponse
+//	POST /v1/sign       {"message": base64} -> SignatureResponse
+//	POST /v1/sign-batch {"messages": [base64...]} -> SignBatchResponse
+//	GET  /v1/pubkey     -> PubkeyResponse
+//	GET  /healthz       -> HealthResponse
 type Coordinator struct {
 	group  *keyfile.Group
 	urls   []string // urls[i-1] serves share i
 	cfg    CoordinatorConfig
 	cache  *sigCache
 	flight *flightGroup
+	batch  *batcher // nil unless BatchWindow > 0
 	mux    *http.ServeMux
 }
 
@@ -104,8 +120,12 @@ func NewCoordinator(group *keyfile.Group, signerURLs []string, cfg CoordinatorCo
 		flight: newFlightGroup(),
 	}
 	c.cache = newSigCache(c.cfg.CacheSize) // nil when disabled
+	if c.cfg.BatchWindow > 0 {
+		c.batch = newBatcher(c, c.cfg.BatchWindow, c.cfg.MaxBatch)
+	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /v1/sign", c.handleSign)
+	c.mux.HandleFunc("POST /v1/sign-batch", c.handleSignBatch)
 	c.mux.HandleFunc("GET /v1/pubkey", c.handlePubkey)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	return c, nil
@@ -116,16 +136,29 @@ func (c *Coordinator) Group() *keyfile.Group { return c.group }
 
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
 
+// ErrEmptyMessage rejects sign requests without a message before any
+// signer is contacted; the HTTP layer maps it to 400.
+var ErrEmptyMessage = errors.New("service: empty message")
+
 // Sign produces the threshold signature on msg, consulting the cache,
 // coalescing with concurrent identical requests, and otherwise fanning
-// out to the signers.
+// out to the signers — through the request batcher when BatchWindow is
+// configured, so concurrent distinct messages share one round-trip.
 func (c *Coordinator) Sign(ctx context.Context, msg []byte) (*core.Signature, SignReport, error) {
+	if len(msg) == 0 {
+		return nil, SignReport{}, ErrEmptyMessage
+	}
 	key := cacheKey(sha256.Sum256(msg))
 	for {
 		if sig, signers, ok := c.cache.get(key); ok {
 			return sig, SignReport{Signers: signers, Cached: true}, nil
 		}
 		out, coalesced, err := c.flight.do(ctx, key, func() (*signOutcome, error) {
+			if c.batch != nil {
+				// The batcher's fan-out populates the cache itself, per
+				// message, the moment each signature is combined.
+				return c.batch.sign(ctx, msg, key)
+			}
 			out, err := c.fanOut(ctx, msg)
 			if err != nil {
 				return nil, err
@@ -253,6 +286,119 @@ func (c *Coordinator) fetchPartial(ctx context.Context, index int, body []byte) 
 	return ps, nil
 }
 
+// BatchResult is one message's outcome of a SignBatch call. Err is set
+// (and Sig nil) when that message — and only that message — failed.
+type BatchResult struct {
+	Sig    *core.Signature
+	Report SignReport
+	Err    error
+}
+
+// SignBatch produces threshold signatures for a whole slice of messages
+// with a single fan-out round-trip per signer. Cached messages are
+// answered without network traffic; duplicates inside the batch share
+// one slot; a message some other caller is already signing — a
+// concurrent Sign or another batch — coalesces onto that in-flight work
+// instead of fanning out twice; the rest travel together in one
+// /v1/sign-batch request per signer, and each signer's answers are
+// checked with one batched pairing. Failures are per message: the
+// returned slice always has len(msgs) entries, in input order. The
+// call-level error is reserved for invalid input (empty batch, too many
+// messages) and context expiry.
+func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResult, error) {
+	if len(msgs) == 0 {
+		return nil, errors.New("service: empty batch")
+	}
+	if len(msgs) > c.cfg.MaxBatch {
+		return nil, fmt.Errorf("service: batch of %d messages exceeds limit %d", len(msgs), c.cfg.MaxBatch)
+	}
+	// Each distinct cache-missing message either becomes a flight leader
+	// (it.item != nil) and rides this call's fan-out, or coalesces as a
+	// follower (it.item == nil) onto the flight some other caller leads.
+	type waiter struct {
+		item *batchItem
+		call *flightCall
+	}
+	results := make([]BatchResult, len(msgs))
+	items := make([]*batchItem, 0, len(msgs)) // this call's flight-leader items, in order
+	waiterFor := make(map[cacheKey]waiter, len(msgs))
+	waiting := make([]waiter, len(msgs)) // per-message; zero value = settled above
+	for j, msg := range msgs {
+		if len(msg) == 0 {
+			results[j] = BatchResult{Err: ErrEmptyMessage}
+			continue
+		}
+		key := cacheKey(sha256.Sum256(msg))
+		if sig, signers, ok := c.cache.get(key); ok {
+			results[j] = BatchResult{Sig: sig, Report: SignReport{Signers: signers, Cached: true}}
+			continue
+		}
+		w, ok := waiterFor[key]
+		if !ok {
+			call, leader := c.flight.claim(key)
+			w = waiter{call: call}
+			if leader {
+				it := &batchItem{msg: msg, key: key, done: make(chan struct{})}
+				items = append(items, it)
+				w.item = it
+				// Publish to concurrent Sign/SignBatch callers the moment
+				// this item completes, not when the whole batch settles.
+				go func() {
+					<-it.done
+					c.flight.finish(key, call, it.out, it.err)
+				}()
+			}
+			waiterFor[key] = w
+		}
+		waiting[j] = w
+	}
+	if len(items) > 0 {
+		c.batchFanOut(ctx, items)
+	}
+	for j, w := range waiting {
+		if w.call == nil {
+			continue
+		}
+		var out *signOutcome
+		var err error
+		if w.item != nil {
+			<-w.item.done // batchFanOut completed every item before returning
+			out, err = w.item.out, w.item.err
+		} else {
+			select {
+			case <-w.call.done:
+				out, err = w.call.res, w.call.err
+			case <-ctx.Done():
+				results[j] = BatchResult{Err: ctx.Err()}
+				continue
+			}
+			if err != nil && ctx.Err() == nil &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				// The OTHER leader's client hung up mid-fan-out; this
+				// caller is still live, so sign the straggler itself
+				// (Sign re-checks the cache and claims a fresh flight).
+				var sig *core.Signature
+				var report SignReport
+				if sig, report, err = c.Sign(ctx, msgs[j]); err == nil {
+					results[j] = BatchResult{Sig: sig, Report: report}
+					continue
+				}
+			}
+		}
+		if err != nil {
+			results[j] = BatchResult{Err: err}
+			continue
+		}
+		results[j] = BatchResult{Sig: out.sig, Report: SignReport{
+			Signers:     out.signers,
+			Invalid:     out.invalid,
+			Unreachable: out.unreachable,
+			Coalesced:   w.item == nil,
+		}}
+	}
+	return results, ctx.Err()
+}
+
 func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignRequest
@@ -260,13 +406,15 @@ func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
 		return
 	}
+	// Client-side bad input is answered 400 here, before any fan-out —
+	// not mapped to 502 as if the backends had failed.
+	if len(req.Message) == 0 {
+		writeError(w, http.StatusBadRequest, "missing message")
+		return
+	}
 	sig, report, err := c.Sign(r.Context(), req.Message)
 	if err != nil {
-		status := http.StatusBadGateway
-		if r.Context().Err() != nil {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, err.Error())
+		writeError(w, signErrorStatus(r, err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, SignatureResponse{
@@ -275,6 +423,56 @@ func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
 		Cached:    report.Cached,
 		Coalesced: report.Coalesced,
 	})
+}
+
+func (c *Coordinator) handleSignBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req SignBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	if len(req.Messages) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Messages) > c.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d messages exceeds limit %d", len(req.Messages), c.cfg.MaxBatch))
+		return
+	}
+	results, err := c.SignBatch(r.Context(), req.Messages)
+	if err != nil {
+		writeError(w, signErrorStatus(r, err), err.Error())
+		return
+	}
+	resp := SignBatchResponse{Results: make([]BatchItemResponse, len(results))}
+	for j, res := range results {
+		if res.Err != nil {
+			resp.Results[j] = BatchItemResponse{Error: res.Err.Error()}
+			continue
+		}
+		resp.Results[j] = BatchItemResponse{
+			Signature: res.Sig.Marshal(),
+			Signers:   res.Report.Signers,
+			Cached:    res.Report.Cached,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// signErrorStatus classifies a Sign/SignBatch error: the client's fault
+// is 400, the client hanging up is 503, anything else means the backends
+// let us down — 502.
+func signErrorStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, ErrEmptyMessage):
+		return http.StatusBadRequest
+	case r.Context().Err() != nil:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
+	}
 }
 
 func (c *Coordinator) handlePubkey(w http.ResponseWriter, _ *http.Request) {

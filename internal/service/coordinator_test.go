@@ -18,13 +18,37 @@ import (
 // ---- fault-injection handler wrappers ----
 
 // tamperSign makes a signer Byzantine: it signs a tampered message, so
-// the returned partial is well-formed but fails Share-Verify.
+// the returned partial is well-formed but fails Share-Verify. Batch
+// requests have every message tampered.
 func tamperSign(h http.Handler) http.Handler {
+	return tamperBatchSelect(h, func(int) bool { return true })
+}
+
+// tamperBatchSelect tampers /v1/sign entirely and, on /v1/sign-batch,
+// only the messages whose index satisfies pick — a signer that is
+// Byzantine for PART of a batch, which only bisection can isolate.
+func tamperBatchSelect(h http.Handler, pick func(j int) bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodPost && r.URL.Path == "/v1/sign" {
 			var req SignRequest
 			if err := json.NewDecoder(r.Body).Decode(&req); err == nil {
 				req.Message = append(req.Message, []byte("::tampered")...)
+				body, _ := json.Marshal(req)
+				r2 := r.Clone(r.Context())
+				r2.Body = io.NopCloser(bytes.NewReader(body))
+				r2.ContentLength = int64(len(body))
+				h.ServeHTTP(w, r2)
+				return
+			}
+		}
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/sign-batch" {
+			var req SignBatchRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err == nil {
+				for j := range req.Messages {
+					if pick(j) {
+						req.Messages[j] = append(req.Messages[j], []byte("::tampered")...)
+					}
+				}
 				body, _ := json.Marshal(req)
 				r2 := r.Clone(r.Context())
 				r2.Body = io.NopCloser(bytes.NewReader(body))

@@ -46,13 +46,20 @@ func (c *sigCache) get(key cacheKey) (*core.Signature, []int, bool) {
 	}
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.sig, e.signers, true
+	// Defensive copy: callers surface the signer list in SignReport and
+	// may append to it; handing out the internal slice would let that
+	// corrupt the cached entry.
+	return e.sig, append([]int(nil), e.signers...), true
 }
 
 func (c *sigCache) add(key cacheKey, sig *core.Signature, signers []int) {
 	if c == nil {
 		return
 	}
+	// Same aliasing hazard as get, from the other side: the caller's
+	// slice also rides out to Sign/SignBatch callers as
+	// SignReport.Signers, and a mutation there must not reach the cache.
+	signers = append([]int(nil), signers...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

@@ -22,8 +22,16 @@ package service
 
 // maxRequestBytes caps inbound request bodies (and mirrors the cap on
 // response bodies read back from signers), so an oversized payload is
-// rejected instead of buffered into memory.
+// rejected instead of buffered into memory. Batch requests share the
+// same cap; base64 inflates payloads by 4/3, so a full 64-message batch
+// fits as long as messages stay under ~11 KiB — the coordinator's window
+// batcher also dispatches early on a byte budget so merged batches never
+// outgrow what the signers accept.
 const maxRequestBytes = 1 << 20
+
+// DefaultMaxBatch is the default per-request message limit for the
+// sign-batch endpoints on both signer and coordinator.
+const DefaultMaxBatch = 64
 
 // Wire types for the JSON/HTTP API. []byte fields marshal as base64 per
 // encoding/json convention.
@@ -48,6 +56,35 @@ type SignatureResponse struct {
 	Signers   []int  `json:"signers"`             // indices whose shares were combined
 	Cached    bool   `json:"cached,omitempty"`    // served from the signature cache
 	Coalesced bool   `json:"coalesced,omitempty"` // rode an in-flight duplicate
+}
+
+// SignBatchRequest is the body of POST /v1/sign-batch on both signer and
+// coordinator: up to MaxBatch messages signed in one round-trip.
+type SignBatchRequest struct {
+	Messages [][]byte `json:"messages"`
+}
+
+// PartialBatchResponse is a signer's answer to a batch request:
+// Partials[j] is the core.PartialSignature.Marshal bytes for Messages[j].
+type PartialBatchResponse struct {
+	Index    int      `json:"index"`
+	Partials [][]byte `json:"partials"`
+}
+
+// BatchItemResponse is one message's outcome inside a SignBatchResponse.
+// Exactly one of Signature and Error is set: the batch endpoint reports
+// per-message results, so one unsignable message does not fail the rest.
+type BatchItemResponse struct {
+	Signature []byte `json:"signature,omitempty"`
+	Signers   []int  `json:"signers,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// SignBatchResponse is the coordinator's answer to POST /v1/sign-batch:
+// Results[j] corresponds to Messages[j] of the request.
+type SignBatchResponse struct {
+	Results []BatchItemResponse `json:"results"`
 }
 
 // PubkeyResponse describes the group on GET /v1/pubkey: the domain label

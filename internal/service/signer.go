@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -18,6 +19,7 @@ import (
 type SignerConfig struct {
 	MaxWorkers int // concurrent Share-Sign operations (default 2×GOMAXPROCS via DefaultSignerConfig)
 	MaxQueue   int // additional requests allowed to wait for a worker (default 4×MaxWorkers)
+	MaxBatch   int // messages accepted per /v1/sign-batch request (default DefaultMaxBatch)
 }
 
 // DefaultSignerConfig returns the defaults for missing fields.
@@ -28,15 +30,19 @@ func (c SignerConfig) withDefaults() SignerConfig {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 4 * c.MaxWorkers
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
 	return c
 }
 
 // Signer serves one private key share over HTTP. It is an http.Handler:
 //
-//	POST /v1/sign   {"message": base64} -> PartialResponse
-//	GET  /v1/pubkey -> PubkeyResponse
-//	GET  /v1/vk     -> VKResponse (this signer's own key)
-//	GET  /healthz   -> HealthResponse
+//	POST /v1/sign       {"message": base64} -> PartialResponse
+//	POST /v1/sign-batch {"messages": [base64...]} -> PartialBatchResponse
+//	GET  /v1/pubkey     -> PubkeyResponse
+//	GET  /v1/vk         -> VKResponse (this signer's own key)
+//	GET  /healthz       -> HealthResponse
 //
 // Share-Sign is deterministic and needs no peer interaction, so the
 // Signer keeps no per-request state and any number of replicas of the
@@ -64,6 +70,7 @@ func NewSigner(group *keyfile.Group, share *core.PrivateKeyShare, cfg SignerConf
 	s.workers = make(chan struct{}, s.cfg.MaxWorkers)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sign", s.handleSign)
+	s.mux.HandleFunc("POST /v1/sign-batch", s.handleSignBatch)
 	s.mux.HandleFunc("GET /v1/pubkey", s.handlePubkey)
 	s.mux.HandleFunc("GET /v1/vk", s.handleVK)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -82,22 +89,17 @@ func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
 		return
 	}
-	// Admission control: shed immediately when the wait queue is full,
-	// otherwise wait for a worker slot (or the client hanging up).
-	if s.inflight.Add(1) > int64(s.cfg.MaxWorkers+s.cfg.MaxQueue) {
-		s.inflight.Add(-1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "signer overloaded")
+	// Mirror of the coordinator's input check: an absent or empty message
+	// is the client's fault, not a backend failure.
+	if len(req.Message) == 0 {
+		writeError(w, http.StatusBadRequest, "missing message")
 		return
 	}
-	defer s.inflight.Add(-1)
-	select {
-	case s.workers <- struct{}{}:
-		defer func() { <-s.workers }()
-	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+	release, ok := s.acquireWorker(w, r)
+	if !ok {
 		return
 	}
+	defer release()
 
 	ps, err := core.ShareSign(s.group.Params, s.share, req.Message)
 	if err != nil {
@@ -105,6 +107,124 @@ func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, PartialResponse{Index: ps.Index, Partial: ps.Marshal()})
+}
+
+// handleSignBatch signs a whole batch under ONE admission unit (so at
+// most MaxWorkers batches sign concurrently and the per-request message
+// count is bounded by MaxBatch), but grabs any idle worker slots
+// opportunistically to spread the messages across the pool — a big
+// batch must not serialize up to MaxBatch pairing-heavy Share-Sign
+// operations while the rest of the pool sits idle. Extra slots are
+// returned the moment the batch is signed; under load the non-blocking
+// grabs find none and the batch degrades to sequential signing on its
+// own slot.
+func (s *Signer) handleSignBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req SignBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	if len(req.Messages) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Messages) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d messages exceeds limit %d", len(req.Messages), s.cfg.MaxBatch))
+		return
+	}
+	for j, msg := range req.Messages {
+		if len(msg) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("missing message at index %d", j))
+			return
+		}
+	}
+	release, ok := s.acquireWorker(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	extra := 0
+grab:
+	for extra < len(req.Messages)-1 {
+		select {
+		case s.workers <- struct{}{}:
+			extra++
+		default:
+			break grab
+		}
+	}
+
+	var (
+		partials = make([][]byte, len(req.Messages))
+		next     atomic.Int64
+		mu       sync.Mutex
+		signErr  error
+		wg       sync.WaitGroup
+	)
+	sign := func() {
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= len(req.Messages) || r.Context().Err() != nil {
+				return
+			}
+			ps, err := core.ShareSign(s.group.Params, s.share, req.Messages[j])
+			if err != nil {
+				mu.Lock()
+				if signErr == nil {
+					signErr = err
+				}
+				mu.Unlock()
+				continue
+			}
+			partials[j] = ps.Marshal()
+		}
+	}
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-s.workers }()
+			sign()
+		}()
+	}
+	sign() // the request's own slot signs too
+	wg.Wait()
+
+	if r.Context().Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "canceled mid-batch")
+		return
+	}
+	if signErr != nil {
+		writeError(w, http.StatusInternalServerError, signErr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PartialBatchResponse{Index: s.share.Index, Partials: partials})
+}
+
+// acquireWorker runs admission control: it sheds the request with 503
+// when the wait queue is full, otherwise blocks for a worker slot (or
+// the client hanging up). On ok it returns the release function the
+// caller must defer; on !ok the error response has been written.
+func (s *Signer) acquireWorker(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.inflight.Add(1) > int64(s.cfg.MaxWorkers+s.cfg.MaxQueue) {
+		s.inflight.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "signer overloaded")
+		return nil, false
+	}
+	select {
+	case s.workers <- struct{}{}:
+		return func() {
+			<-s.workers
+			s.inflight.Add(-1)
+		}, true
+	case <-r.Context().Done():
+		s.inflight.Add(-1)
+		writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+		return nil, false
+	}
 }
 
 func (s *Signer) handlePubkey(w http.ResponseWriter, _ *http.Request) {
