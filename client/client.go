@@ -1,0 +1,226 @@
+// Package client is the HTTP client for the threshold-signing service
+// (repro/service): it talks to a coordinator gateway — or directly to
+// signer daemons for the endpoints they share — and returns the public
+// tsig types.
+//
+// The transport is pluggable: anything with *http.Client's Do method
+// satisfies Transport, so connection pooling, retries, authentication,
+// tracing, or a completely different wire (a test double, a unix-socket
+// dialer) can be slotted in without touching the client:
+//
+//	c := &client.Client{BaseURL: "http://coordinator:9090"}
+//	sig, receipt, err := c.Sign(ctx, msg)
+//	if errors.Is(err, tsig.ErrQuorumUnreachable) { ... }
+//
+// Errors are typed end to end: non-2xx answers carry a machine-readable
+// code (see the service package's Code* constants) that is mapped back
+// onto the tsig sentinel errors, so errors.Is works across the process
+// boundary exactly as it does in-process.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	tsig "repro"
+	"repro/service"
+)
+
+// Transport issues HTTP requests. *http.Client satisfies it; so does any
+// middleware that wraps one.
+type Transport interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// maxResponseBytes caps how much of a response body is read back,
+// mirroring the service's own request cap.
+const maxResponseBytes = 1 << 20
+
+// Client talks to a coordinator (or, for FetchPubkey/FetchVK/Health, any
+// signer — they serve the same schema). The zero value with a BaseURL is
+// ready to use.
+type Client struct {
+	// BaseURL is the server's base URL, without a trailing slash.
+	BaseURL string
+	// Transport issues the requests; nil means http.DefaultClient.
+	Transport Transport
+}
+
+func (c *Client) transport() Transport {
+	if c.Transport == nil {
+		return http.DefaultClient
+	}
+	return c.Transport
+}
+
+// APIError is a non-2xx answer from the service: the HTTP status, the
+// machine-readable wire code, and the server's message. It unwraps to
+// the matching tsig sentinel error when the code names one.
+type APIError struct {
+	Path    string // request path, e.g. "/v1/sign"
+	Status  int    // HTTP status code
+	Code    string // wire code (service.Code* constant), possibly empty
+	Message string // server's human-readable message
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("client: %s: %s (status %d)", e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("client: %s: status %d", e.Path, e.Status)
+}
+
+// Unwrap maps the wire code back onto the typed sentinels the
+// server-side error wrapped, so errors.Is crosses the process boundary —
+// including the distinction between "quorum missed because signers were
+// down" and "quorum missed with Byzantine shares among the answers".
+func (e *APIError) Unwrap() []error {
+	switch e.Code {
+	case service.CodeEmptyMessage:
+		return []error{tsig.ErrEmptyMessage}
+	case service.CodeBatchTooLarge:
+		return []error{tsig.ErrBatchTooLarge}
+	case service.CodeOverloaded:
+		return []error{tsig.ErrOverloaded}
+	case service.CodeQuorum:
+		return []error{tsig.ErrQuorumUnreachable, tsig.ErrInsufficientShares}
+	case service.CodeQuorumInvalidShares:
+		return []error{tsig.ErrQuorumUnreachable, tsig.ErrInsufficientShares, tsig.ErrInvalidShare}
+	default:
+		return nil
+	}
+}
+
+// Sign requests a full threshold signature on msg from the coordinator.
+// The receipt carries the quorum accounting (which signers contributed,
+// cache/coalescing flags).
+func (c *Client) Sign(ctx context.Context, msg []byte) (*tsig.Signature, *service.SignatureResponse, error) {
+	body, err := json.Marshal(service.SignRequest{Message: msg})
+	if err != nil {
+		return nil, nil, err
+	}
+	var sr service.SignatureResponse
+	if err := c.postJSON(ctx, "/v1/sign", body, &sr); err != nil {
+		return nil, nil, err
+	}
+	sig, err := tsig.UnmarshalSignature(sr.Signature)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: coordinator returned malformed signature: %w", err)
+	}
+	return sig, &sr, nil
+}
+
+// SignBatch requests threshold signatures for every message in one
+// round-trip to the coordinator. sigs[j] is the signature for msgs[j],
+// or nil when that message failed — the per-message error strings are in
+// the response. The error is non-nil only for transport- or
+// request-level failures.
+func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*tsig.Signature, *service.SignBatchResponse, error) {
+	body, err := json.Marshal(service.SignBatchRequest{Messages: msgs})
+	if err != nil {
+		return nil, nil, err
+	}
+	var br service.SignBatchResponse
+	if err := c.postJSON(ctx, "/v1/sign-batch", body, &br); err != nil {
+		return nil, nil, err
+	}
+	if len(br.Results) != len(msgs) {
+		return nil, nil, fmt.Errorf("client: coordinator answered %d results for %d messages", len(br.Results), len(msgs))
+	}
+	sigs := make([]*tsig.Signature, len(msgs))
+	for j, res := range br.Results {
+		if res.Error != "" {
+			continue
+		}
+		if sigs[j], err = tsig.UnmarshalSignature(res.Signature); err != nil {
+			return nil, nil, fmt.Errorf("client: coordinator returned malformed signature for message %d: %w", j, err)
+		}
+	}
+	return sigs, &br, nil
+}
+
+// FetchPubkey retrieves the group description and reconstructs the
+// public key (parameters are rebuilt from the domain label, exactly as
+// every server derives them). Verifying against a key the service itself
+// reports catches transport corruption but not a lying server; prefer a
+// locally trusted Group when one is available.
+func (c *Client) FetchPubkey(ctx context.Context) (*tsig.PublicKey, *service.PubkeyResponse, error) {
+	var pr service.PubkeyResponse
+	if err := c.getJSON(ctx, "/v1/pubkey", &pr); err != nil {
+		return nil, nil, err
+	}
+	params := tsig.NewScheme(tsig.WithDomain(pr.Domain)).Params()
+	pk, err := tsig.UnmarshalPublicKey(params, pr.PK)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: malformed public key from %s: %w", c.BaseURL, err)
+	}
+	return pk, &pr, nil
+}
+
+// FetchVK retrieves a signer daemon's own verification key (signers
+// only; the coordinator does not serve /v1/vk).
+func (c *Client) FetchVK(ctx context.Context) (*tsig.VerificationKey, *service.VKResponse, error) {
+	var vr service.VKResponse
+	if err := c.getJSON(ctx, "/v1/vk", &vr); err != nil {
+		return nil, nil, err
+	}
+	vk, err := tsig.UnmarshalVerificationKey(vr.VK)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: malformed verification key from %s: %w", c.BaseURL, err)
+	}
+	return vk, &vr, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
+	var hr service.HealthResponse
+	if err := c.getJSON(ctx, "/healthz", &hr); err != nil {
+		return nil, err
+	}
+	return &hr, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(req, out)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.doJSON(req, out)
+}
+
+func (c *Client) doJSON(req *http.Request, out any) error {
+	resp, err := c.transport().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Path: req.URL.Path, Status: resp.StatusCode}
+		var er service.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			apiErr.Code = er.Code
+			apiErr.Message = er.Error
+		} else {
+			apiErr.Message = string(bytes.TrimSpace(raw))
+		}
+		return apiErr
+	}
+	return json.Unmarshal(raw, out)
+}

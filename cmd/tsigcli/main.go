@@ -13,7 +13,8 @@
 //
 // Each share file is the complete private state of one server; in a real
 // deployment each lives on a different machine behind a tsigd signer
-// daemon (see cmd/tsigd).
+// daemon (see cmd/tsigd). The command is built entirely on the public
+// packages: repro (the scheme) and repro/client (the HTTP client).
 package main
 
 import (
@@ -24,9 +25,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/keyfile"
-	"repro/internal/service"
+	tsig "repro"
+	"repro/client"
 )
 
 func main() {
@@ -66,16 +66,16 @@ func cmdKeygen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	params := core.NewParams(*domain)
-	views, outcome, err := core.DistKeygen(params, *n, *t)
+	scheme := tsig.NewScheme(tsig.WithDomain(*domain))
+	group, members, err := scheme.Keygen(*n, *t)
 	if err != nil {
 		return err
 	}
-	if err := keyfile.WriteKeystore(*dir, *domain, *n, *t, views); err != nil {
+	if err := tsig.SaveKeystore(*dir, group, members); err != nil {
 		return err
 	}
-	fmt.Printf("keygen: n=%d t=%d, DKG used %d communication round(s); wrote group.json and %d share files to %s\n",
-		*n, *t, outcome.Stats.CommunicationRounds(), *n, *dir)
+	fmt.Printf("keygen: n=%d t=%d; wrote group.json and %d share files to %s\n",
+		*n, *t, *n, *dir)
 	return nil
 }
 
@@ -109,15 +109,13 @@ func cmdSign(args []string) error {
 	if *sharePath == "" || *out == "" {
 		return fmt.Errorf("sign: -share and -out are required (or use -remote)")
 	}
-	group, err := keyfile.LoadGroup(*groupPath)
+	// LoadMember bounds-checks the share against the group, so a corrupt
+	// keystore fails here with a clear error.
+	member, err := tsig.LoadMember(*groupPath, *sharePath)
 	if err != nil {
 		return err
 	}
-	share, err := keyfile.LoadShare(*sharePath)
-	if err != nil {
-		return err
-	}
-	ps, err := core.ShareSign(group.Params, share, []byte(*msg))
+	ps, err := member.SignShare([]byte(*msg))
 	if err != nil {
 		return err
 	}
@@ -125,30 +123,30 @@ func cmdSign(args []string) error {
 		return err
 	}
 	fmt.Printf("sign: server %d/%d produced a %d-byte partial signature -> %s\n",
-		share.Index, group.N, len(ps.Marshal()), *out)
+		member.Index(), member.Group().N, len(ps.Marshal()), *out)
 	return nil
 }
 
 // remoteSign asks a tsigd coordinator for a full signature and verifies
-// it before writing it out. The trusted public key comes from the local
-// group file when one is available (a coordinator can only vouch for
-// itself); only without one does verification fall back to the key the
-// service advertises, which still catches transport corruption but not
-// a lying coordinator.
+// it before writing it out. The trusted group comes from the local group
+// file when one is available (a coordinator can only vouch for itself);
+// only without one does verification fall back to the key the service
+// advertises, which still catches transport corruption but not a lying
+// coordinator.
 func remoteSign(baseURL, groupPath string, groupSet bool, msg, out string, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	client := &service.Client{BaseURL: baseURL}
+	cl := &client.Client{BaseURL: baseURL}
 
-	pk, n, t, err := trustedPubkey(ctx, client, groupPath, groupSet)
+	pk, n, t, err := trustedPubkey(ctx, cl, groupPath, groupSet)
 	if err != nil {
 		return err
 	}
-	sig, resp, err := client.Sign(ctx, []byte(msg))
+	sig, resp, err := cl.Sign(ctx, []byte(msg))
 	if err != nil {
 		return err
 	}
-	if !core.Verify(pk, []byte(msg), sig) {
+	if !pk.Verify([]byte(msg), sig) {
 		return fmt.Errorf("sign: coordinator returned an INVALID signature")
 	}
 	if out != "" {
@@ -175,9 +173,9 @@ func remoteSignBatch(baseURL, groupPath string, groupSet bool, msgs []string, ou
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	client := &service.Client{BaseURL: baseURL}
+	cl := &client.Client{BaseURL: baseURL}
 
-	pk, n, t, err := trustedPubkey(ctx, client, groupPath, groupSet)
+	pk, n, t, err := trustedPubkey(ctx, cl, groupPath, groupSet)
 	if err != nil {
 		return err
 	}
@@ -185,7 +183,7 @@ func remoteSignBatch(baseURL, groupPath string, groupSet bool, msgs []string, ou
 	for j, m := range msgs {
 		raw[j] = []byte(m)
 	}
-	sigs, resp, err := client.SignBatch(ctx, raw)
+	sigs, resp, err := cl.SignBatch(ctx, raw)
 	if err != nil {
 		return err
 	}
@@ -198,7 +196,7 @@ func remoteSignBatch(baseURL, groupPath string, groupSet bool, msgs []string, ou
 			lines = append(lines, '\n') // keep line j aligned with message j
 			continue
 		}
-		if !core.Verify(pk, raw[j], sig) {
+		if !pk.Verify(raw[j], sig) {
 			return fmt.Errorf("sign: coordinator returned an INVALID signature for message %d", j)
 		}
 		lines = append(lines, []byte(hex.EncodeToString(sig.Marshal())+"\n")...)
@@ -226,13 +224,13 @@ func remoteSignBatch(baseURL, groupPath string, groupSet bool, msgs []string, ou
 // the local group file when available (a coordinator can only vouch for
 // itself), else the key the service advertises — which still catches
 // transport corruption but not a lying coordinator.
-func trustedPubkey(ctx context.Context, client *service.Client, groupPath string, groupSet bool) (*core.PublicKey, int, int, error) {
-	if group, err := keyfile.LoadGroup(groupPath); err == nil {
+func trustedPubkey(ctx context.Context, cl *client.Client, groupPath string, groupSet bool) (*tsig.PublicKey, int, int, error) {
+	if group, err := tsig.LoadGroup(groupPath); err == nil {
 		return group.PK, group.N, group.T, nil
 	} else if groupSet {
 		return nil, 0, 0, err // an explicitly named group file must load
 	}
-	pk, info, err := client.FetchPubkey(ctx)
+	pk, info, err := cl.FetchPubkey(ctx)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -248,11 +246,11 @@ func cmdCombine(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	group, err := keyfile.LoadGroup(*groupPath)
+	group, err := tsig.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}
-	var parts []*core.PartialSignature
+	var parts []*tsig.PartialSignature
 	for _, path := range fs.Args() {
 		raw, err := os.ReadFile(path)
 		if err != nil {
@@ -262,13 +260,13 @@ func cmdCombine(args []string) error {
 		if err != nil {
 			return fmt.Errorf("combine: %s: %w", path, err)
 		}
-		ps, err := core.UnmarshalPartialSignature(dec)
+		ps, err := tsig.UnmarshalPartialSignature(dec)
 		if err != nil {
 			return fmt.Errorf("combine: %s: %w", path, err)
 		}
 		parts = append(parts, ps)
 	}
-	sig, err := core.Combine(group.PK, group.VKs, []byte(*msg), parts, group.T)
+	sig, err := group.Combine([]byte(*msg), parts)
 	if err != nil {
 		return err
 	}
@@ -287,7 +285,7 @@ func cmdVerify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	group, err := keyfile.LoadGroup(*groupPath)
+	group, err := tsig.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}
@@ -299,11 +297,11 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	var sig core.Signature
-	if err := sig.Unmarshal(dec); err != nil {
+	sig, err := tsig.UnmarshalSignature(dec)
+	if err != nil {
 		return err
 	}
-	if !core.Verify(group.PK, []byte(*msg), &sig) {
+	if !group.Verify([]byte(*msg), sig) {
 		return fmt.Errorf("verify: INVALID signature")
 	}
 	fmt.Println("verify: OK")

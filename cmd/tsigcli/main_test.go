@@ -7,8 +7,8 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/keyfile"
-	"repro/internal/service"
+	tsig "repro"
+	"repro/service"
 )
 
 func TestKeygenSignCombineVerifyWorkflow(t *testing.T) {
@@ -50,13 +50,13 @@ func TestRemoteSignWorkflow(t *testing.T) {
 	if err := cmdKeygen([]string{"-n", "3", "-t", "1", "-domain", "cli-remote-test", "-dir", dir}); err != nil {
 		t.Fatalf("keygen: %v", err)
 	}
-	group, err := keyfile.LoadGroup(filepath.Join(dir, "group.json"))
+	group, err := tsig.LoadGroup(filepath.Join(dir, "group.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	urls := make([]string, group.N)
 	for i := 1; i <= group.N; i++ {
-		share, err := keyfile.LoadShare(filepath.Join(dir, "share-"+string(rune('0'+i))+".json"))
+		share, err := tsig.LoadShare(filepath.Join(dir, "share-"+string(rune('0'+i))+".json"))
 		if err != nil {
 			t.Fatal(err)
 		}

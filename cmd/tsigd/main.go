@@ -37,8 +37,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/keyfile"
-	"repro/internal/service"
+	tsig "repro"
+	"repro/service"
 )
 
 func main() {
@@ -79,15 +79,14 @@ func cmdSigner(args []string) error {
 	if *sharePath == "" {
 		return fmt.Errorf("signer: -share is required")
 	}
-	group, err := keyfile.LoadGroup(*groupPath)
+	// LoadMember validates the keystore as a whole (group invariants plus
+	// share bounds), so a corrupt or mismatched pair fails here.
+	member, err := tsig.LoadMember(*groupPath, *sharePath)
 	if err != nil {
 		return err
 	}
-	share, err := keyfile.LoadShare(*sharePath)
-	if err != nil {
-		return err
-	}
-	signer, err := service.NewSigner(group, share, service.SignerConfig{
+	group := member.Group()
+	signer, err := service.NewSigner(group, member.PrivateShare(), service.SignerConfig{
 		MaxWorkers: *workers, MaxQueue: *queue, MaxBatch: *maxBatch,
 	})
 	if err != nil {
@@ -114,7 +113,7 @@ func cmdCoordinator(args []string) error {
 	if *signers == "" {
 		return fmt.Errorf("coordinator: -signers is required")
 	}
-	group, err := keyfile.LoadGroup(*groupPath)
+	group, err := tsig.LoadGroup(*groupPath)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,59 @@
+package tsig
+
+import (
+	"repro/internal/core"
+)
+
+// This file keeps the pre-v1 free-function API alive for one release as
+// thin wrappers over the Scheme/Group/Member object model. New code
+// should use the model; see the README migration guide.
+
+// NewParams derives public parameters from a domain-separation label.
+//
+// Deprecated: use NewScheme(WithDomain(domain)) and Scheme.Params.
+func NewParams(domain string) *Params { return core.NewParams(domain) }
+
+// DistKeygen runs the distributed key generation protocol among n
+// simulated honest servers with threshold t (any t+1 sign; n >= 2t+1).
+// views[i] (1-based) is server i's private view.
+//
+// Deprecated: use Scheme.Keygen, which returns the Group and Members
+// directly.
+var DistKeygen = core.DistKeygen
+
+// ShareSign produces server i's partial signature on msg.
+//
+// Deprecated: use Member.SignShare (or Member.Sign via crypto.Signer).
+var ShareSign = core.ShareSign
+
+// ShareVerify publicly checks a partial signature against VK_i.
+//
+// Deprecated: use Group.ShareVerify or the error-typed Group.CheckShare.
+var ShareVerify = core.ShareVerify
+
+// Combine assembles the unique full signature from any t+1 valid partial
+// signatures, discarding invalid ones (robustness).
+//
+// Deprecated: use Group.Combine.
+var Combine = core.Combine
+
+// Verify checks a full signature (a product of four pairings).
+//
+// Deprecated: use Group.Verify.
+var Verify = core.Verify
+
+// RunRefresh and ApplyRefresh implement the proactive share refresh of
+// Section 3.3: shares are re-randomized without changing the public key.
+//
+// Deprecated: use Scheme.RunRefresh and Member.ApplyRefresh.
+var (
+	RunRefresh   = core.RunRefresh
+	ApplyRefresh = core.ApplyRefresh
+)
+
+// DistributedSign runs a full signing session over the simulated network:
+// one unicast message per signer, no signer-to-signer interaction.
+//
+// Deprecated: run a real networked session with repro/service, or
+// combine Member.SignShare outputs with Group.Combine.
+var DistributedSign = core.DistributedSign

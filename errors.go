@@ -1,0 +1,51 @@
+package tsig
+
+import (
+	"repro/internal/core"
+)
+
+// Typed sentinel errors. Every error the library returns that corresponds
+// to one of these conditions wraps the matching sentinel — across the
+// core primitives, the keystore, the networked service, and (via wire
+// codes) the HTTP client — so callers dispatch with errors.Is instead of
+// string matching:
+//
+//	sig, err := group.Combine(msg, parts)
+//	if errors.Is(err, tsig.ErrInsufficientShares) { ... }
+//	if errors.Is(err, tsig.ErrInvalidShare) { /* a signer was Byzantine */ }
+//
+// The variables alias the canonical values defined next to the code that
+// produces them, so errors.Is matches no matter which layer created the
+// error.
+var (
+	// ErrInvalidShare marks a partial signature that fails Share-Verify:
+	// the contributing signer is faulty or Byzantine.
+	ErrInvalidShare = core.ErrInvalidShare
+
+	// ErrInsufficientShares: fewer than t+1 distinct valid partial
+	// signatures were available for combination.
+	ErrInsufficientShares = core.ErrInsufficientShares
+
+	// ErrInvalidEncoding: bytes that are not a valid canonical encoding
+	// of the type being unmarshalled.
+	ErrInvalidEncoding = core.ErrInvalidEncoding
+
+	// ErrIndexOutOfRange: a share or verification-key index outside the
+	// group's 1..n range.
+	ErrIndexOutOfRange = core.ErrIndexOutOfRange
+
+	// ErrEmptyMessage: a sign request without a message, rejected before
+	// any signer is contacted.
+	ErrEmptyMessage = core.ErrEmptyMessage
+
+	// ErrQuorumUnreachable: a service fan-out ended with fewer than t+1
+	// valid shares (too many signers down, slow, or Byzantine).
+	ErrQuorumUnreachable = core.ErrQuorumUnreachable
+
+	// ErrOverloaded: load shedding — the signer's worker pool and wait
+	// queue are full. Retry elsewhere or later.
+	ErrOverloaded = core.ErrOverloaded
+
+	// ErrBatchTooLarge: a batch request exceeded the configured MaxBatch.
+	ErrBatchTooLarge = core.ErrBatchTooLarge
+)

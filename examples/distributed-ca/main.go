@@ -12,19 +12,19 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	tsig "repro"
 )
 
-func issueCert(views []*core.AggKeyShares, t int, cert string) *core.Signature {
-	var parts []*core.PartialSignature
+func issueCert(views []*tsig.AggKeyShares, t int, cert string) *tsig.Signature {
+	var parts []*tsig.PartialSignature
 	for i := 1; i <= t+1; i++ {
-		ps, err := core.AggShareSign(views[1].PK, views[i].Share, []byte(cert))
+		ps, err := tsig.AggShareSign(views[1].PK, views[i].Share, []byte(cert))
 		if err != nil {
 			log.Fatalf("Agg-Share-Sign: %v", err)
 		}
 		parts = append(parts, ps)
 	}
-	sig, err := core.AggCombine(views[1].PK, views[1].VKs, []byte(cert), parts, t)
+	sig, err := tsig.AggCombine(views[1].PK, views[1].VKs, []byte(cert), parts, t)
 	if err != nil {
 		log.Fatalf("Agg-Combine: %v", err)
 	}
@@ -36,14 +36,14 @@ func main() {
 		n = 3
 		t = 1
 	)
-	params := core.NewAggParams("distributed-ca/v1")
+	scheme := tsig.NewScheme(tsig.WithDomain("distributed-ca/v1"), tsig.WithAggregation())
 
 	fmt.Println("== Setting up two threshold CAs (Appendix G DKG with key-validity proofs) ==")
-	root, _, err := core.AggDistKeygen(params, n, t)
+	root, err := scheme.AggKeygen(n, t)
 	if err != nil {
 		log.Fatalf("root CA keygen: %v", err)
 	}
-	inter, _, err := core.AggDistKeygen(params, n, t)
+	inter, err := scheme.AggKeygen(n, t)
 	if err != nil {
 		log.Fatalf("intermediate CA keygen: %v", err)
 	}
@@ -56,7 +56,7 @@ func main() {
 	certOCSP := "ocsp: api.example.com status=good"
 
 	fmt.Println("== Issuing the chain (each signature needs 2 of 3 cluster members) ==")
-	entries := []core.AggEntry{
+	entries := []tsig.AggEntry{
 		{PK: root[1].PK, Msg: []byte(certIntermediate), Sig: issueCert(root, t, certIntermediate)},
 		{PK: inter[1].PK, Msg: []byte(certLeaf), Sig: issueCert(inter, t, certLeaf)},
 		{PK: inter[1].PK, Msg: []byte(certOCSP), Sig: issueCert(inter, t, certOCSP)},
@@ -64,28 +64,28 @@ func main() {
 	total := 0
 	for i, e := range entries {
 		fmt.Printf("signature %d: %d bytes, valid alone: %v\n",
-			i+1, len(e.Sig.Marshal()), core.AggVerifySingle(e.PK, e.Msg, e.Sig))
+			i+1, len(e.Sig.Marshal()), tsig.AggVerifySingle(e.PK, e.Msg, e.Sig))
 		total += len(e.Sig.Marshal())
 	}
 
 	fmt.Println("\n== Aggregating the chain ==")
-	agg, err := core.Aggregate(entries)
+	agg, err := tsig.Aggregate(entries)
 	if err != nil {
 		log.Fatalf("Aggregate: %v", err)
 	}
 	fmt.Printf("chain of %d signatures: %d bytes -> aggregate: %d bytes (%d bits)\n",
 		len(entries), total, len(agg.Marshal()), len(agg.Marshal())*8)
 
-	if !core.AggregateVerify(entries, agg) {
+	if !tsig.AggregateVerify(entries, agg) {
 		log.Fatal("aggregate verification failed")
 	}
 	fmt.Println("Aggregate-Verify accepted the whole chain with one check")
 
 	// Any substitution is caught.
-	forged := make([]core.AggEntry, len(entries))
+	forged := make([]tsig.AggEntry, len(entries))
 	copy(forged, entries)
 	forged[1].Msg = []byte("cert: subject=evil.example.com, issuer=intermediate-ca")
-	if core.AggregateVerify(forged, agg) {
+	if tsig.AggregateVerify(forged, agg) {
 		log.Fatal("forged chain verified!")
 	}
 	fmt.Println("substituting a certificate breaks the aggregate — all good")

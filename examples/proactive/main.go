@@ -2,10 +2,12 @@
 // extension against a MOBILE adversary: one that may eventually visit
 // every server, as long as it never controls more than t at once.
 //
-// The servers periodically run a zero-sharing refresh epoch: every share
-// and verification key is re-randomized while the public key — and hence
-// every verifier — is untouched. Shares stolen in different epochs do not
-// combine, so the adversary must breach t+1 servers WITHIN one epoch.
+// The members periodically apply a zero-sharing refresh epoch: every
+// share and verification key is re-randomized while the public key — and
+// hence every verifier — is untouched. Shares stolen in different epochs
+// do not combine, so the adversary must breach t+1 servers WITHIN one
+// epoch. A crashed member is restored with the share-recovery protocol,
+// without any share ever being reconstructed in one place.
 package main
 
 import (
@@ -21,80 +23,91 @@ func main() {
 		t      = 2
 		epochs = 3
 	)
-	params := tsig.NewParams("proactive/v1")
+	scheme := tsig.NewScheme(tsig.WithDomain("proactive/v1"))
 
 	fmt.Println("== Epoch 0: distributed key generation ==")
-	views, _, err := tsig.DistKeygen(params, n, t)
+	group, members, err := scheme.Keygen(n, t)
 	if err != nil {
 		log.Fatalf("Dist-Keygen: %v", err)
 	}
-	originalPK := views[1].PK
+	originalGroup := group
 	msg := []byte("long-lived service key, signed across epochs")
 
-	// The mobile adversary steals shares: player 1 in epoch 0, player 2
-	// in epoch 1, player 3 in epoch 2 — t+1 shares in total, but never
+	// The mobile adversary steals shares: member 1 in epoch 0, member 2
+	// in epoch 1, member 3 in epoch 2 — t+1 shares in total, but never
 	// more than one per epoch.
 	type stolen struct {
-		epoch int
-		share *tsig.PrivateKeyShare
+		epoch  int
+		member *tsig.Member
 	}
-	var loot []stolen
-	loot = append(loot, stolen{0, views[1].Share})
+	loot := []stolen{{0, members[0]}}
 
 	for epoch := 1; epoch <= epochs; epoch++ {
 		fmt.Printf("\n== Epoch %d: refresh (zero-sharing DKG) ==\n", epoch)
-		refresh, err := tsig.RunRefresh(params, n, t)
+		refresh, err := scheme.RunRefresh(n, t)
 		if err != nil {
 			log.Fatalf("refresh: %v", err)
 		}
-		next := make([]*tsig.KeyShares, n+1)
-		for i := 1; i <= n; i++ {
-			next[i], err = tsig.ApplyRefresh(views[i], refresh.Results[i])
-			if err != nil {
+		next := make([]*tsig.Member, n)
+		for i, m := range members {
+			if next[i], err = m.ApplyRefresh(refresh); err != nil {
 				log.Fatalf("apply refresh: %v", err)
 			}
 		}
-		views = next
-		fmt.Printf("public key unchanged: %v\n", views[1].PK.Equal(originalPK))
+		members = next
+		group = members[0].Group()
+		fmt.Printf("public key unchanged: %v\n", group.PK.Equal(originalGroup.PK))
 		if epoch <= 2 {
-			victim := epoch + 1
-			loot = append(loot, stolen{epoch, views[victim].Share})
-			fmt.Printf("adversary breaches server %d this epoch\n", victim)
+			victim := epoch // members[1] in epoch 1, members[2] in epoch 2
+			loot = append(loot, stolen{epoch, members[victim]})
+			fmt.Printf("adversary breaches server %d this epoch\n", members[victim].Index())
 		}
 
 		// The service keeps signing normally with current shares.
 		var parts []*tsig.PartialSignature
-		for _, i := range []int{2, 4, 5} {
-			ps, err := tsig.ShareSign(params, views[i].Share, msg)
+		for _, i := range []int{1, 3, 4} {
+			ps, err := members[i].SignShare(msg)
 			if err != nil {
-				log.Fatalf("Share-Sign: %v", err)
+				log.Fatalf("SignShare: %v", err)
 			}
 			parts = append(parts, ps)
 		}
-		sig, err := tsig.Combine(views[1].PK, views[1].VKs, msg, parts, t)
+		sig, err := group.Combine(msg, parts)
 		if err != nil {
 			log.Fatalf("Combine: %v", err)
 		}
 		fmt.Printf("epoch-%d signature verifies under the ORIGINAL public key: %v\n",
-			epoch, tsig.Verify(originalPK, msg, sig))
+			epoch, originalGroup.Verify(msg, sig))
 	}
 
 	fmt.Printf("\n== The adversary now holds %d shares (one per epoch) ==\n", len(loot))
 	// Cross-epoch shares are inconsistent sharings: partial signatures made
 	// from them do not pass share verification against ANY single epoch's
 	// verification keys, so they cannot be combined.
+	target := []byte("adversarial target message")
 	var crossParts []*tsig.PartialSignature
 	for _, s := range loot {
-		ps, err := tsig.ShareSign(params, s.share, []byte("adversarial target message"))
+		ps, err := s.member.SignShare(target)
 		if err != nil {
 			log.Fatalf("adversary signing: %v", err)
 		}
 		crossParts = append(crossParts, ps)
 	}
-	_, err = tsig.Combine(views[1].PK, views[1].VKs, []byte("adversarial target message"), crossParts, t)
-	if err != nil {
+	if _, err := group.Combine(target, crossParts); err != nil {
 		fmt.Printf("combining cross-epoch loot fails as expected: %v\n", err)
 	} else {
 		log.Fatal("cross-epoch shares combined — proactive security broken!")
 	}
+
+	fmt.Println("\n== Share recovery: server 2 crashed and lost its current share ==")
+	recovered, err := tsig.RecoverShare(group, []*tsig.Member{members[0], members[2], members[3]}, 2, nil)
+	if err != nil {
+		log.Fatalf("recovery: %v", err)
+	}
+	ps, err := recovered.SignShare(msg)
+	if err != nil {
+		log.Fatalf("recovered member signing: %v", err)
+	}
+	fmt.Printf("recovered member %d signs validly again: %v\n",
+		recovered.Index(), group.ShareVerify(msg, ps))
 }

@@ -1,7 +1,8 @@
 // Command quickstart walks through the complete lifecycle of the paper's
-// Section 3 scheme: distributed key generation among five servers,
-// non-interactive partial signing by three of them, robust combination and
-// verification — plus the size figures the paper reports.
+// Section 3 scheme on the v1 object model: distributed key generation
+// among five servers, non-interactive partial signing by three of them,
+// robust combination and verification — plus the size figures the paper
+// reports.
 package main
 
 import (
@@ -18,18 +19,16 @@ func main() {
 	)
 
 	fmt.Println("== Fully distributed key generation (Pedersen DKG) ==")
-	params := tsig.NewParams("quickstart/v1")
-	views, outcome, err := tsig.DistKeygen(params, n, t)
+	scheme := tsig.NewScheme(tsig.WithDomain("quickstart/v1"))
+	group, members, err := scheme.Keygen(n, t)
 	if err != nil {
 		log.Fatalf("Dist-Keygen: %v", err)
 	}
-	fmt.Printf("servers: %d, threshold: %d (any %d can sign)\n", n, t, t+1)
-	fmt.Printf("communication rounds used: %d (optimistic case: one broadcast round)\n",
-		outcome.Stats.CommunicationRounds())
-	fmt.Printf("broadcast messages: %d, private messages: %d\n",
-		outcome.Stats.BroadcastMessages, outcome.Stats.UnicastMessages)
-	fmt.Printf("private key share size: %d bytes (constant, independent of n)\n\n",
-		views[1].Share.SizeBytes())
+	fmt.Printf("servers: %d, threshold: %d (any %d can sign)\n", group.N, group.T, group.T+1)
+	fmt.Printf("private key share size: %d bytes (constant, independent of n)\n",
+		members[0].PrivateShare().SizeBytes())
+	fmt.Printf("public group description: %d bytes, round-trips through tsig.UnmarshalGroup\n\n",
+		len(group.Marshal()))
 
 	msg := []byte("pay 100 to alice, sequence 42")
 	fmt.Printf("== Non-interactive signing of %q ==\n", msg)
@@ -37,30 +36,29 @@ func main() {
 	// Each signing server works alone: hash, two multi-exponentiations,
 	// one message to the combiner. Servers 1, 3 and 5 participate.
 	var parts []*tsig.PartialSignature
-	for _, i := range []int{1, 3, 5} {
-		ps, err := tsig.ShareSign(params, views[i].Share, msg)
+	for _, i := range []int{0, 2, 4} {
+		ps, err := members[i].SignShare(msg)
 		if err != nil {
-			log.Fatalf("Share-Sign(%d): %v", i, err)
+			log.Fatalf("SignShare(%d): %v", members[i].Index(), err)
 		}
-		ok := tsig.ShareVerify(views[1].PK, views[1].VKs[i], msg, ps)
 		fmt.Printf("server %d produced a partial signature (%d bytes), publicly valid: %v\n",
-			i, len(ps.Marshal()), ok)
+			members[i].Index(), len(ps.Marshal()), group.ShareVerify(msg, ps))
 		parts = append(parts, ps)
 	}
 
-	sig, err := tsig.Combine(views[1].PK, views[1].VKs, msg, parts, t)
+	sig, err := group.Combine(msg, parts)
 	if err != nil {
 		log.Fatalf("Combine: %v", err)
 	}
 	fmt.Printf("\ncombined signature: %d bytes = %d bits (the paper's Section 3.1 figure)\n",
 		len(sig.Marshal()), len(sig.Marshal())*8)
 
-	if !tsig.Verify(views[1].PK, msg, sig) {
+	if !group.Verify(msg, sig) {
 		log.Fatal("verification failed")
 	}
-	fmt.Println("Verify(PK, M, sigma) = 1  (product of four pairings)")
+	fmt.Println("group.Verify(M, sigma) = true  (product of four pairings)")
 
-	if tsig.Verify(views[1].PK, []byte("pay 100 to mallory"), sig) {
+	if group.Verify([]byte("pay 100 to mallory"), sig) {
 		log.Fatal("signature verified on a different message!")
 	}
 	fmt.Println("signature does not transfer to other messages — all good")

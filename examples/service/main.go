@@ -19,9 +19,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/keyfile"
-	"repro/internal/service"
+	tsig "repro"
+	"repro/client"
+	"repro/service"
 )
 
 const (
@@ -31,17 +31,16 @@ const (
 
 func main() {
 	fmt.Println("== Dist-Keygen among 5 servers (threshold 2) ==")
-	params := core.NewParams("example-service/v1")
-	views, _, err := core.DistKeygen(params, n, t)
+	scheme := tsig.NewScheme(tsig.WithDomain("example-service/v1"))
+	group, members, err := scheme.Keygen(n, t)
 	if err != nil {
 		log.Fatalf("Dist-Keygen: %v", err)
 	}
-	group := keyfile.NewGroup("example-service/v1", n, t, views[1])
 
 	fmt.Println("\n== Starting 5 signer daemons on loopback ==")
 	urls := make([]string, n)
 	for i := 1; i <= n; i++ {
-		signer, err := service.NewSigner(group, views[i].Share, service.SignerConfig{})
+		signer, err := service.NewSigner(group, members[i-1].PrivateShare(), service.SignerConfig{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,24 +77,27 @@ func main() {
 	fmt.Printf("coordinator gateway: %s\n", gatewayURL)
 
 	fmt.Println("\n== One client request -> full threshold signature ==")
-	client := &service.Client{BaseURL: gatewayURL}
+	cl := &client.Client{BaseURL: gatewayURL} // Transport defaults to http.DefaultClient
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	pk, _, err := client.FetchPubkey(ctx)
+	pk, _, err := cl.FetchPubkey(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if !pk.Equal(group.PK) {
+		log.Fatal("coordinator advertises a different public key")
+	}
 	msg := []byte("pay 100 to alice, sequence 42")
-	sig, resp, err := client.Sign(ctx, msg)
+	sig, resp, err := cl.Sign(ctx, msg)
 	if err != nil {
 		log.Fatalf("sign via coordinator: %v", err)
 	}
 	fmt.Printf("signature: %d bytes, combined from signers %v (1 down, 1 Byzantine tolerated)\n",
 		len(sig.Marshal()), resp.Signers)
-	if !core.Verify(pk, msg, sig) {
+	if !group.Verify(msg, sig) {
 		log.Fatal("verification failed")
 	}
-	fmt.Println("core.Verify(PK, M, sigma) = true")
+	fmt.Println("group.Verify(M, sigma) = true")
 
 	fmt.Println("\n== 8 concurrent duplicate requests coalesce into one fan-out ==")
 	var wg sync.WaitGroup
@@ -106,7 +108,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, r, err := client.Sign(ctx, dup)
+			_, r, err := cl.Sign(ctx, dup)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -123,7 +125,7 @@ func main() {
 	wg.Wait()
 	fmt.Printf("8 callers: %d coalesced onto an in-flight fan-out, %d served from cache\n", coalesced, cached)
 
-	_, r, err := client.Sign(ctx, dup)
+	_, r, err := cl.Sign(ctx, dup)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func main() {
 		msgs[i] = []byte(fmt.Sprintf("invoice %04d: pay 5 to bob", i))
 	}
 	start := time.Now()
-	sigs, batchResp, err := client.SignBatch(ctx, msgs)
+	sigs, batchResp, err := cl.SignBatch(ctx, msgs)
 	if err != nil {
 		log.Fatalf("sign-batch via coordinator: %v", err)
 	}
@@ -143,7 +145,7 @@ func main() {
 		if sig == nil {
 			log.Fatalf("message %d failed: %s", i, batchResp.Results[i].Error)
 		}
-		if !core.Verify(pk, msgs[i], sig) {
+		if !group.Verify(msgs[i], sig) {
 			log.Fatalf("message %d: invalid signature", i)
 		}
 	}

@@ -33,7 +33,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
 	"sort"
@@ -204,7 +203,7 @@ func (ps *PartialSignature) Marshal() []byte {
 // UnmarshalPartialSignature decodes the Marshal encoding.
 func UnmarshalPartialSignature(data []byte) (*PartialSignature, error) {
 	if len(data) != 2+2*bn254.G1SizeCompressed {
-		return nil, fmt.Errorf("core: partial signature length %d", len(data))
+		return nil, fmt.Errorf("core: partial signature length %d: %w", len(data), ErrInvalidEncoding)
 	}
 	ps := &PartialSignature{
 		Index: int(data[0])<<8 | int(data[1]),
@@ -212,10 +211,10 @@ func UnmarshalPartialSignature(data []byte) (*PartialSignature, error) {
 		R:     new(bn254.G1),
 	}
 	if err := ps.Z.UnmarshalCompressed(data[2 : 2+bn254.G1SizeCompressed]); err != nil {
-		return nil, fmt.Errorf("core: partial z: %w", err)
+		return nil, fmt.Errorf("core: partial z: %w (%w)", err, ErrInvalidEncoding)
 	}
 	if err := ps.R.UnmarshalCompressed(data[2+bn254.G1SizeCompressed:]); err != nil {
-		return nil, fmt.Errorf("core: partial r: %w", err)
+		return nil, fmt.Errorf("core: partial r: %w (%w)", err, ErrInvalidEncoding)
 	}
 	return ps, nil
 }
@@ -249,8 +248,10 @@ func ShareVerify(pk *PublicKey, vk *VerificationKey, msg []byte, ps *PartialSign
 // 1-based verification key vector.
 func Combine(pk *PublicKey, vks []*VerificationKey, msg []byte, parts []*PartialSignature, t int) (*Signature, error) {
 	valid := make(map[int]*PartialSignature)
+	rejected := false
 	for _, ps := range parts {
 		if ps == nil || ps.Index < 1 || ps.Index >= len(vks) {
+			rejected = true
 			continue
 		}
 		if _, dup := valid[ps.Index]; dup {
@@ -258,10 +259,16 @@ func Combine(pk *PublicKey, vks []*VerificationKey, msg []byte, parts []*Partial
 		}
 		if ShareVerify(pk, vks[ps.Index], msg, ps) {
 			valid[ps.Index] = ps
+		} else {
+			rejected = true
 		}
 	}
 	if len(valid) < t+1 {
-		return nil, fmt.Errorf("core: only %d valid partial signatures, need %d", len(valid), t+1)
+		err := fmt.Errorf("core: only %d valid partial signatures, need %d: %w", len(valid), t+1, ErrInsufficientShares)
+		if rejected {
+			err = fmt.Errorf("%w (%w)", err, ErrInvalidShare)
+		}
+		return nil, err
 	}
 	indices := make([]int, 0, len(valid))
 	for i := range valid {
@@ -291,6 +298,19 @@ func Combine(pk *PublicKey, vks []*VerificationKey, msg []byte, parts []*Partial
 	return out, nil
 }
 
+// VerifyShare is the error-typed form of ShareVerify: it returns nil for
+// a valid partial signature and an error wrapping ErrInvalidShare
+// otherwise, so callers can dispatch with errors.Is.
+func VerifyShare(pk *PublicKey, vk *VerificationKey, msg []byte, ps *PartialSignature) error {
+	if ps == nil {
+		return fmt.Errorf("core: nil partial signature: %w", ErrInvalidShare)
+	}
+	if !ShareVerify(pk, vk, msg, ps) {
+		return fmt.Errorf("core: partial signature of signer %d fails Share-Verify: %w", ps.Index, ErrInvalidShare)
+	}
+	return nil
+}
+
 // Verify checks a full signature: one product of four pairings.
 func Verify(pk *PublicKey, msg []byte, sig *Signature) bool {
 	if sig == nil || sig.Z == nil || sig.R == nil {
@@ -300,6 +320,9 @@ func Verify(pk *PublicKey, msg []byte, sig *Signature) bool {
 	return pk.lhspsKey().VerifyRelation(h, sig)
 }
 
-// ErrNotEnoughShares is returned by helpers when fewer than t+1 signers
-// contributed.
-var ErrNotEnoughShares = errors.New("core: not enough signature shares")
+// Verify checks a full signature under this key — the method form for
+// callers that hold a bare PublicKey (e.g. one advertised by a remote
+// service) rather than a full Group.
+func (pk *PublicKey) Verify(msg []byte, sig *Signature) bool {
+	return Verify(pk, msg, sig)
+}

@@ -1,0 +1,55 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors of the scheme. Every error returned by this
+// package (and re-exported by the public tsig facade) that corresponds to
+// one of these conditions wraps the matching sentinel, so callers can
+// dispatch with errors.Is instead of string matching — across process
+// boundaries too, because the service layer maps them onto wire codes.
+var (
+	// ErrInvalidShare marks a partial signature that fails Share-Verify
+	// (or is structurally malformed): the contributing signer is faulty or
+	// Byzantine. Robust combination discards such shares; errors that
+	// report them wrap this sentinel.
+	ErrInvalidShare = errors.New("core: invalid signature share")
+
+	// ErrInsufficientShares is returned when fewer than t+1 distinct valid
+	// partial signatures are available for combination.
+	ErrInsufficientShares = errors.New("core: not enough signature shares")
+
+	// ErrInvalidEncoding marks bytes that are not a valid canonical
+	// encoding of the type being unmarshalled (wrong length, scalar out of
+	// range, point not on the curve, ...).
+	ErrInvalidEncoding = errors.New("core: invalid encoding")
+
+	// ErrIndexOutOfRange marks a share or verification-key index outside
+	// the group's 1..n range.
+	ErrIndexOutOfRange = errors.New("core: index out of range")
+)
+
+// Protocol-level sentinels shared by the signing service and its client.
+// They live here — the leaf package of the dependency graph — so the
+// pure-crypto facade can alias them without linking the HTTP stack, and
+// errors.Is sees one identity everywhere.
+var (
+	// ErrEmptyMessage rejects sign requests without a message.
+	ErrEmptyMessage = errors.New("tsig: empty message")
+
+	// ErrQuorumUnreachable: a fan-out ended with fewer than t+1 valid
+	// shares.
+	ErrQuorumUnreachable = errors.New("tsig: quorum unreachable")
+
+	// ErrOverloaded marks load shedding: a signer's worker pool and wait
+	// queue are full and the request was refused.
+	ErrOverloaded = errors.New("tsig: overloaded")
+
+	// ErrBatchTooLarge rejects batch requests with more messages than
+	// the configured maximum.
+	ErrBatchTooLarge = errors.New("tsig: batch too large")
+)
+
+// ErrNotEnoughShares is the historical name of ErrInsufficientShares.
+//
+// Deprecated: use ErrInsufficientShares.
+var ErrNotEnoughShares = ErrInsufficientShares

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math/big"
 	"testing"
 
 	"repro/internal/bn254"
@@ -70,6 +71,115 @@ func FuzzUnmarshalVerificationKey(f *testing.F) {
 		}
 		if !bytes.Equal(out.Marshal(), data) {
 			t.Fatal("non-canonical verification-key round-trip")
+		}
+	})
+}
+
+// FuzzUnmarshalPrivateKeyShare covers the share codec the keystore loads
+// from disk: malformed, truncated, and out-of-range inputs must error,
+// never panic, and anything accepted must re-encode to the same bytes.
+func FuzzUnmarshalPrivateKeyShare(f *testing.F) {
+	valid := (&PrivateKeyShare{
+		Index: 2,
+		A1:    big.NewInt(7), B1: big.NewInt(11),
+		A2: big.NewInt(13), B2: big.NewInt(17),
+	}).Marshal()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+	junk := make([]byte, PrivateKeyShareSize)
+	for i := range junk {
+		junk[i] = 0xff
+	}
+	f.Add(junk) // right length, scalars >= r
+	zeroIdx := bytes.Clone(valid)
+	zeroIdx[0], zeroIdx[1] = 0, 0
+	f.Add(zeroIdx)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := UnmarshalPrivateKeyShare(data)
+		if err != nil {
+			return
+		}
+		if err := sk.Validate(); err != nil {
+			t.Fatalf("accepted share fails Validate: %v", err)
+		}
+		if !bytes.Equal(sk.Marshal(), data) {
+			t.Fatalf("non-canonical share round-trip: %x -> %x", data, sk.Marshal())
+		}
+	})
+}
+
+// FuzzUnmarshalSignature covers the full-signature decoder that consumes
+// coordinator responses and signature files.
+func FuzzUnmarshalSignature(f *testing.F) {
+	g := bn254.G1Generator()
+	f.Add((&Signature{Z: g, R: g}).Marshal())
+	f.Add((&Signature{Z: new(bn254.G1), R: new(bn254.G1)}).Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, SignatureSize))
+	f.Add(make([]byte, SignatureSize-1))
+	junk := make([]byte, SignatureSize)
+	for i := range junk {
+		junk[i] = 0xff
+	}
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, err := UnmarshalSignature(data)
+		if err != nil {
+			return
+		}
+		if sig.Z == nil || sig.R == nil {
+			t.Fatal("accepted signature with nil points")
+		}
+		if !bytes.Equal(sig.Marshal(), data) {
+			t.Fatalf("non-canonical signature round-trip: %x -> %x", data, sig.Marshal())
+		}
+	})
+}
+
+// FuzzUnmarshalKeyShares covers the composite view codec: arbitrary
+// lengths, corrupted components, and inconsistent metadata must error
+// cleanly, and accepted inputs must round-trip byte for byte.
+func FuzzUnmarshalKeyShares(f *testing.F) {
+	params := NewParams("fuzz-keyshares/v1")
+	vk := &VerificationKey{V1: params.LH.Gz, V2: params.LH.Gr}
+	pk := &PublicKey{Params: params, G1: params.LH.Gz, G2: params.LH.Gr}
+	view := &KeyShares{
+		PK: pk,
+		Share: &PrivateKeyShare{
+			Index: 1,
+			A1:    big.NewInt(3), B1: big.NewInt(5),
+			A2: big.NewInt(7), B2: big.NewInt(9),
+		},
+		VKs: []*VerificationKey{nil, vk, vk, vk},
+	}
+	valid := view.Marshal()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:1])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+	badIdx := bytes.Clone(valid)
+	badIdx[2+PublicKeySize+1] = 0xfe // share index outside n=3
+	f.Add(badIdx)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ks, err := UnmarshalKeyShares(params, data)
+		if err != nil {
+			return
+		}
+		if ks.PK == nil || ks.Share == nil {
+			t.Fatal("accepted key shares with nil components")
+		}
+		n := len(ks.VKs) - 1
+		if ks.Share.Index < 1 || ks.Share.Index > n {
+			t.Fatalf("accepted share index %d outside group 1..%d", ks.Share.Index, n)
+		}
+		if !bytes.Equal(ks.Marshal(), data) {
+			t.Fatal("non-canonical key shares round-trip")
 		}
 	})
 }

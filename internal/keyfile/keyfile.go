@@ -1,9 +1,15 @@
 // Package keyfile defines the on-disk keystore produced by Dist-Keygen
 // and consumed by every front end (tsigcli, tsigd): a public group file
 // (group.json) describing PK, the verification keys and the threshold,
-// and one private share file (share-i.json) per server. The JSON schema
-// is the one tsigcli has always written, so existing keystores keep
-// working.
+// and one private share file (share-i.json) per server. Legacy keystores
+// (the schema tsigcli has always written) keep loading; shares are now
+// written through the canonical core codec (one hex blob per file).
+//
+// All validation funnels through the core types: LoadGroup enforces the
+// group invariants (n >= 2t+1, complete verification keys) and LoadShare
+// the share invariants (positive index, scalars in range), so a corrupt
+// keystore fails fast at load time with a clear error instead of deep
+// inside Combine.
 package keyfile
 
 import (
@@ -17,15 +23,10 @@ import (
 	"repro/internal/core"
 )
 
-// Group is the public portion of a key group: everything needed to
-// verify partial and full signatures, but no secrets.
-type Group struct {
-	Domain string
-	N, T   int
-	Params *core.Params
-	PK     *core.PublicKey
-	VKs    []*core.VerificationKey // 1-based; index 0 nil
-}
+// Group is the public portion of a key group. It is the core object
+// model's Group: everything needed to verify partial and full
+// signatures, but no secrets.
+type Group = core.Group
 
 // groupJSON is the serialized schema (hex-encoded group elements).
 type groupJSON struct {
@@ -38,21 +39,16 @@ type groupJSON struct {
 	VK2    []string `json:"vk_v2"`
 }
 
-// shareJSON is one server's private share (hex-encoded scalars).
+// shareJSON is one server's private share. New files carry the canonical
+// core.PrivateKeyShare encoding in Share; legacy files carry the four
+// hex scalars instead, and both forms load.
 type shareJSON struct {
 	Index int    `json:"index"`
-	A1    string `json:"a1"`
-	B1    string `json:"b1"`
-	A2    string `json:"a2"`
-	B2    string `json:"b2"`
-}
-
-// NewGroup builds a Group from one server's Dist-Keygen view.
-func NewGroup(domain string, n, t int, view *core.KeyShares) *Group {
-	return &Group{
-		Domain: domain, N: n, T: t,
-		Params: view.PK.Params, PK: view.PK, VKs: view.VKs,
-	}
+	Share string `json:"share,omitempty"` // hex of PrivateKeyShare.Marshal
+	A1    string `json:"a1,omitempty"`
+	B1    string `json:"b1,omitempty"`
+	A2    string `json:"a2,omitempty"`
+	B2    string `json:"b2,omitempty"`
 }
 
 // WriteGroup writes the group file at path with 0600 permissions.
@@ -72,14 +68,16 @@ func WriteGroup(path string, g *Group) error {
 }
 
 // LoadGroup reads and validates a group file, rebuilding the public
-// parameters from the recorded domain label.
+// parameters from the recorded domain label. The group invariants
+// (n >= 2t+1, a complete verification key vector) are enforced here, at
+// load time.
 func LoadGroup(path string) (*Group, error) {
 	var gj groupJSON
 	if err := readJSON(path, &gj); err != nil {
 		return nil, err
 	}
-	if gj.N < 1 || gj.T < 0 || gj.N < 2*gj.T+1 {
-		return nil, fmt.Errorf("keyfile: bad group size n=%d t=%d (need n >= 2t+1)", gj.N, gj.T)
+	if gj.N < 1 || gj.T < 1 || gj.N < 2*gj.T+1 {
+		return nil, fmt.Errorf("keyfile: bad group size n=%d t=%d (need t >= 1 and n >= 2t+1)", gj.N, gj.T)
 	}
 	if len(gj.VK1) != gj.N+1 || len(gj.VK2) != gj.N+1 {
 		return nil, fmt.Errorf("keyfile: group lists %d verification keys, want %d", len(gj.VK1)-1, gj.N)
@@ -103,27 +101,50 @@ func LoadGroup(path string) (*Group, error) {
 			return nil, fmt.Errorf("keyfile: vk %d: %w", i, err)
 		}
 	}
-	return &Group{Domain: gj.Domain, N: gj.N, T: gj.T, Params: params, PK: pk, VKs: vks}, nil
+	g := &Group{Domain: gj.Domain, N: gj.N, T: gj.T, Params: params, PK: pk, VKs: vks}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+	}
+	return g, nil
 }
 
-// WriteShare writes one server's private share file with 0600 permissions.
+// WriteShare writes one server's private share file with 0600
+// permissions, using the canonical core codec.
 func WriteShare(path string, sk *core.PrivateKeyShare) error {
+	if err := sk.Validate(); err != nil {
+		return fmt.Errorf("keyfile: refusing to write invalid share: %w", err)
+	}
 	return writeJSON(path, shareJSON{
 		Index: sk.Index,
-		A1:    sk.A1.Text(16), B1: sk.B1.Text(16),
-		A2: sk.A2.Text(16), B2: sk.B2.Text(16),
+		Share: hex.EncodeToString(sk.Marshal()),
 	})
 }
 
-// LoadShare reads and validates one server's private share file.
+// LoadShare reads and validates one server's private share file,
+// accepting both the codec-based schema and the legacy four-scalar one.
+// The share invariants (index >= 1, scalars in [0, r)) are enforced
+// here; use LoadMember to additionally bound the index by the group
+// size.
 func LoadShare(path string) (*core.PrivateKeyShare, error) {
 	var sj shareJSON
 	if err := readJSON(path, &sj); err != nil {
 		return nil, err
 	}
-	if sj.Index < 1 {
-		return nil, fmt.Errorf("keyfile: bad share index %d", sj.Index)
+	if sj.Share != "" {
+		raw, err := hex.DecodeString(sj.Share)
+		if err != nil {
+			return nil, fmt.Errorf("keyfile: share blob: %w", err)
+		}
+		sk, err := core.UnmarshalPrivateKeyShare(raw)
+		if err != nil {
+			return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+		}
+		if sj.Index != 0 && sj.Index != sk.Index {
+			return nil, fmt.Errorf("keyfile: %s: index field %d contradicts encoded index %d", path, sj.Index, sk.Index)
+		}
+		return sk, nil
 	}
+	// Legacy schema: four hex scalars.
 	parse := func(field, s string) (*big.Int, error) {
 		v, ok := new(big.Int).SetString(s, 16)
 		if !ok {
@@ -131,29 +152,53 @@ func LoadShare(path string) (*core.PrivateKeyShare, error) {
 		}
 		return v, nil
 	}
-	a1, err := parse("a1", sj.A1)
+	sk := &core.PrivateKeyShare{Index: sj.Index}
+	var err error
+	if sk.A1, err = parse("a1", sj.A1); err != nil {
+		return nil, err
+	}
+	if sk.B1, err = parse("b1", sj.B1); err != nil {
+		return nil, err
+	}
+	if sk.A2, err = parse("a2", sj.A2); err != nil {
+		return nil, err
+	}
+	if sk.B2, err = parse("b2", sj.B2); err != nil {
+		return nil, err
+	}
+	if err := sk.Validate(); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+	}
+	return sk, nil
+}
+
+// LoadMember loads a group file and a share file together and binds them:
+// the share's index is bounds-checked against the group (1..n), so a
+// mismatched keystore fails here, not at signing time.
+func LoadMember(groupPath, sharePath string) (*core.Member, error) {
+	g, err := LoadGroup(groupPath)
 	if err != nil {
 		return nil, err
 	}
-	b1, err := parse("b1", sj.B1)
+	sk, err := LoadShare(sharePath)
 	if err != nil {
 		return nil, err
 	}
-	a2, err := parse("a2", sj.A2)
+	m, err := g.Member(sk)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("keyfile: %s does not fit %s: %w", sharePath, groupPath, err)
 	}
-	b2, err := parse("b2", sj.B2)
-	if err != nil {
-		return nil, err
-	}
-	return &core.PrivateKeyShare{Index: sj.Index, A1: a1, B1: b1, A2: a2, B2: b2}, nil
+	return m, nil
 }
 
 // WriteKeystore writes the complete Dist-Keygen output — group.json plus
 // share-i.json for every server — into dir.
 func WriteKeystore(dir, domain string, n, t int, views []*core.KeyShares) error {
-	if err := WriteGroup(filepath.Join(dir, "group.json"), NewGroup(domain, n, t, views[1])); err != nil {
+	g, err := core.NewGroup(domain, n, t, views[1])
+	if err != nil {
+		return fmt.Errorf("keyfile: %w", err)
+	}
+	if err := WriteGroup(filepath.Join(dir, "group.json"), g); err != nil {
 		return err
 	}
 	for i := 1; i <= n; i++ {

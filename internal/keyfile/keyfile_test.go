@@ -1,8 +1,10 @@
 package keyfile
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -111,4 +113,114 @@ func TestLoadShareRejectsGarbage(t *testing.T) {
 	if share.A1.Int64() != 255 {
 		t.Fatal("hex parsing wrong")
 	}
+}
+
+// TestLoadShareLegacySchema verifies that pre-codec share files (four hex
+// scalars, the schema early tsigcli versions wrote) still load and sign.
+func TestLoadShareLegacySchema(t *testing.T) {
+	dir, views := writeFixtureKeystore(t)
+	legacy := `{"index":2,` +
+		`"a1":"` + views[2].Share.A1.Text(16) + `",` +
+		`"b1":"` + views[2].Share.B1.Text(16) + `",` +
+		`"a2":"` + views[2].Share.A2.Text(16) + `",` +
+		`"b2":"` + views[2].Share.B2.Text(16) + `"}`
+	path := filepath.Join(dir, "legacy-share.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	share, err := LoadShare(path)
+	if err != nil {
+		t.Fatalf("legacy schema rejected: %v", err)
+	}
+	if share.Index != 2 || share.A1.Cmp(views[2].Share.A1) != 0 {
+		t.Fatal("legacy share loaded wrong")
+	}
+}
+
+// TestLoadShareRejectsOutOfRangeScalar: a scalar >= r must fail at load
+// time, not corrupt signing later.
+func TestLoadShareRejectsOutOfRangeScalar(t *testing.T) {
+	dir := t.TempDir()
+	// 2^256 - 1 > r for BN254.
+	big := "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+	path := filepath.Join(dir, "share.json")
+	body := `{"index":1,"a1":"` + big + `","b1":"1","a2":"1","b2":"1"}`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShare(path); err == nil {
+		t.Fatal("accepted share with scalar >= group order")
+	}
+}
+
+// TestLoadGroupRejectsBadThreshold: n < 2t+1 must fail fast at load time.
+func TestLoadGroupRejectsBadThreshold(t *testing.T) {
+	dir, _ := writeFixtureKeystore(t)
+	path := filepath.Join(dir, "group.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture group has n=3, t=1; claim t=2 so n < 2t+1.
+	bad := []byte(strings.Replace(string(raw), `"t": 1`, `"t": 2`, 1))
+	if string(bad) == string(raw) {
+		t.Fatal("fixture schema changed; update the test")
+	}
+	if err := os.WriteFile(path, bad, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGroup(path); err == nil {
+		t.Fatal("accepted group file with n < 2t+1")
+	}
+}
+
+// TestLoadMemberBoundsIndex: a share whose index exceeds the group size
+// must be rejected when the two files are bound together.
+func TestLoadMemberBoundsIndex(t *testing.T) {
+	dir, views := writeFixtureKeystore(t)
+	groupPath := filepath.Join(dir, "group.json")
+
+	m, err := LoadMember(groupPath, filepath.Join(dir, "share-1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Index() != 1 {
+		t.Fatalf("member index %d", m.Index())
+	}
+
+	rogue := *views[1].Share
+	rogue.Index = 9 // outside 1..3
+	roguePath := filepath.Join(dir, "share-9.json")
+	if err := WriteShare(roguePath, &rogue); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadMember(groupPath, roguePath)
+	if err == nil {
+		t.Fatal("accepted share index outside the group")
+	}
+	if !errors.Is(err, core.ErrIndexOutOfRange) {
+		t.Fatalf("want ErrIndexOutOfRange, got %v", err)
+	}
+}
+
+// TestShareIndexFieldMismatch: the human-readable index field must agree
+// with the codec blob.
+func TestShareIndexFieldMismatch(t *testing.T) {
+	dir, views := writeFixtureKeystore(t)
+	raw, err := os.ReadFile(filepath.Join(dir, "share-1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"index": 1`, `"index": 2`, 1)
+	if tampered == string(raw) {
+		t.Fatal("fixture schema changed; update the test")
+	}
+	path := filepath.Join(dir, "tampered.json")
+	if err := os.WriteFile(path, []byte(tampered), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShare(path); err == nil {
+		t.Fatal("accepted share file whose index field contradicts the blob")
+	}
+	_ = views
 }

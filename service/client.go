@@ -13,6 +13,9 @@ import (
 
 // Client talks to a coordinator (or, for FetchPubkey, any signer — both
 // serve /v1/pubkey with the same schema).
+//
+// Deprecated: use the repro/client package, which adds a pluggable
+// Transport and typed error mapping. This shim remains for one release.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client // nil means http.DefaultClient

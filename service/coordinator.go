@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/keyfile"
 )
 
 // CoordinatorConfig tunes the coordinator's fan-out and caching.
@@ -69,7 +68,7 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 //	GET  /v1/pubkey     -> PubkeyResponse
 //	GET  /healthz       -> HealthResponse
 type Coordinator struct {
-	group  *keyfile.Group
+	group  *core.Group
 	urls   []string // urls[i-1] serves share i
 	cfg    CoordinatorConfig
 	cache  *sigCache
@@ -87,18 +86,6 @@ type SignReport struct {
 	Coalesced   bool  // rode another caller's in-flight fan-out
 }
 
-// QuorumError reports a fan-out that ended below t+1 valid shares.
-type QuorumError struct {
-	Need, Valid int
-	Invalid     []int
-	Unreachable []int
-}
-
-func (e *QuorumError) Error() string {
-	return fmt.Sprintf("service: quorum not reached: %d valid shares, need %d (unreachable signers: %v, invalid shares: %v)",
-		e.Valid, e.Need, e.Unreachable, e.Invalid)
-}
-
 // signOutcome is what one fan-out (or cache hit) yields.
 type signOutcome struct {
 	sig         *core.Signature
@@ -109,7 +96,7 @@ type signOutcome struct {
 
 // NewCoordinator builds a coordinator for the group; signerURLs[i-1] must
 // be the base URL of the signer holding share i.
-func NewCoordinator(group *keyfile.Group, signerURLs []string, cfg CoordinatorConfig) (*Coordinator, error) {
+func NewCoordinator(group *core.Group, signerURLs []string, cfg CoordinatorConfig) (*Coordinator, error) {
 	if len(signerURLs) != group.N {
 		return nil, fmt.Errorf("service: %d signer URLs for a group of n=%d", len(signerURLs), group.N)
 	}
@@ -128,17 +115,19 @@ func NewCoordinator(group *keyfile.Group, signerURLs []string, cfg CoordinatorCo
 	c.mux.HandleFunc("POST /v1/sign-batch", c.handleSignBatch)
 	c.mux.HandleFunc("GET /v1/pubkey", c.handlePubkey)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	// Any other method on a known path is answered 405 + Allow with a
+	// JSON body, not the mux's plain-text default.
+	c.mux.HandleFunc("/v1/sign", methodNotAllowed(http.MethodPost))
+	c.mux.HandleFunc("/v1/sign-batch", methodNotAllowed(http.MethodPost))
+	c.mux.HandleFunc("/v1/pubkey", methodNotAllowed(http.MethodGet))
+	c.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
 	return c, nil
 }
 
 // Group returns the coordinator's public group description.
-func (c *Coordinator) Group() *keyfile.Group { return c.group }
+func (c *Coordinator) Group() *core.Group { return c.group }
 
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
-
-// ErrEmptyMessage rejects sign requests without a message before any
-// signer is contacted; the HTTP layer maps it to 400.
-var ErrEmptyMessage = errors.New("service: empty message")
 
 // Sign produces the threshold signature on msg, consulting the cache,
 // coalescing with concurrent identical requests, and otherwise fanning
@@ -310,7 +299,7 @@ func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResu
 		return nil, errors.New("service: empty batch")
 	}
 	if len(msgs) > c.cfg.MaxBatch {
-		return nil, fmt.Errorf("service: batch of %d messages exceeds limit %d", len(msgs), c.cfg.MaxBatch)
+		return nil, fmt.Errorf("service: batch of %d messages exceeds limit %d: %w", len(msgs), c.cfg.MaxBatch, ErrBatchTooLarge)
 	}
 	// Each distinct cache-missing message either becomes a flight leader
 	// (it.item != nil) and rides this call's fan-out, or coalesces as a
@@ -403,18 +392,18 @@ func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
 		return
 	}
 	// Client-side bad input is answered 400 here, before any fan-out —
 	// not mapped to 502 as if the backends had failed.
 	if len(req.Message) == 0 {
-		writeError(w, http.StatusBadRequest, "missing message")
+		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "missing message")
 		return
 	}
 	sig, report, err := c.Sign(r.Context(), req.Message)
 	if err != nil {
-		writeError(w, signErrorStatus(r, err), err.Error())
+		writeSignError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SignatureResponse{
@@ -429,21 +418,21 @@ func (c *Coordinator) handleSignBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
 		return
 	}
 	if len(req.Messages) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "empty batch")
 		return
 	}
 	if len(req.Messages) > c.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest,
+		writeErrorCode(w, http.StatusBadRequest, CodeBatchTooLarge,
 			fmt.Sprintf("batch of %d messages exceeds limit %d", len(req.Messages), c.cfg.MaxBatch))
 		return
 	}
 	results, err := c.SignBatch(r.Context(), req.Messages)
 	if err != nil {
-		writeError(w, signErrorStatus(r, err), err.Error())
+		writeSignError(w, r, err)
 		return
 	}
 	resp := SignBatchResponse{Results: make([]BatchItemResponse, len(results))}
@@ -466,13 +455,31 @@ func (c *Coordinator) handleSignBatch(w http.ResponseWriter, r *http.Request) {
 // let us down — 502.
 func signErrorStatus(r *http.Request, err error) int {
 	switch {
-	case errors.Is(err, ErrEmptyMessage):
+	case errors.Is(err, ErrEmptyMessage), errors.Is(err, ErrBatchTooLarge):
 		return http.StatusBadRequest
 	case r.Context().Err() != nil:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadGateway
 	}
+}
+
+// writeSignError renders a Sign/SignBatch failure with its wire code, so
+// remote callers keep the errors.Is typing the in-process API has.
+func writeSignError(w http.ResponseWriter, r *http.Request, err error) {
+	status := signErrorStatus(r, err)
+	code := errorCode(err)
+	if code == "" {
+		switch {
+		case status == http.StatusBadRequest:
+			code = CodeBadRequest
+		case r.Context().Err() != nil:
+			code = CodeCanceled
+		default:
+			code = CodeBackend
+		}
+	}
+	writeErrorCode(w, status, code, err.Error())
 }
 
 func (c *Coordinator) handlePubkey(w http.ResponseWriter, _ *http.Request) {

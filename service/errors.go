@@ -1,0 +1,94 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Typed sentinel errors of the service layer. Handlers map them onto the
+// machine-readable Code field of every non-2xx ErrorResponse, and the
+// public client package maps the codes back, so errors.Is works across
+// the process boundary. The values are aliases of the canonical
+// sentinels in the scheme's leaf package, so the pure-crypto facade can
+// re-export the same identities without depending on this package.
+var (
+	// ErrEmptyMessage rejects sign requests without a message before any
+	// signer is contacted; the HTTP layer maps it to 400.
+	ErrEmptyMessage = core.ErrEmptyMessage
+
+	// ErrQuorumUnreachable is wrapped by every QuorumError: a fan-out
+	// ended with fewer than t+1 valid shares.
+	ErrQuorumUnreachable = core.ErrQuorumUnreachable
+
+	// ErrOverloaded marks load shedding: the signer's worker pool and
+	// wait queue are full and the request was refused. Retry elsewhere or
+	// later.
+	ErrOverloaded = core.ErrOverloaded
+
+	// ErrBatchTooLarge rejects batch requests with more messages than the
+	// configured MaxBatch.
+	ErrBatchTooLarge = core.ErrBatchTooLarge
+)
+
+// Machine-readable error codes carried in ErrorResponse.Code. They are
+// part of the wire protocol: clients map them back onto the sentinel
+// errors above (and core.ErrInvalidShare and friends), so string matching
+// on error messages is never needed.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeEmptyMessage     = "empty_message"
+	CodeBatchTooLarge    = "batch_too_large"
+	CodeOverloaded       = "overloaded"
+	CodeQuorum           = "quorum_unreachable"
+	CodeCanceled         = "canceled"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeBackend          = "backend_failure"
+	// CodeQuorumInvalidShares is CodeQuorum with Byzantine evidence: the
+	// fan-out fell below t+1 valid shares AND at least one signer
+	// answered with an invalid share.
+	CodeQuorumInvalidShares = "quorum_unreachable_invalid_shares"
+)
+
+// QuorumError reports a fan-out that ended below t+1 valid shares. It
+// wraps ErrQuorumUnreachable, and additionally core.ErrInvalidShare when
+// Byzantine shares were among the answers.
+type QuorumError struct {
+	Need, Valid int
+	Invalid     []int
+	Unreachable []int
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("service: quorum not reached: %d valid shares, need %d (unreachable signers: %v, invalid shares: %v)",
+		e.Valid, e.Need, e.Unreachable, e.Invalid)
+}
+
+// Unwrap lets errors.Is see through to the sentinels.
+func (e *QuorumError) Unwrap() []error {
+	out := []error{ErrQuorumUnreachable, core.ErrInsufficientShares}
+	if len(e.Invalid) > 0 {
+		out = append(out, core.ErrInvalidShare)
+	}
+	return out
+}
+
+// errorCode classifies an error into its wire code; the zero string means
+// "no specific code" (the handler picks its default).
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrEmptyMessage):
+		return CodeEmptyMessage
+	case errors.Is(err, ErrBatchTooLarge):
+		return CodeBatchTooLarge
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrQuorumUnreachable) && errors.Is(err, core.ErrInvalidShare):
+		return CodeQuorumInvalidShares
+	case errors.Is(err, ErrQuorumUnreachable):
+		return CodeQuorum
+	default:
+		return ""
+	}
+}

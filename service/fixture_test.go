@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/keyfile"
 )
 
 // The acceptance configuration: n=7 signers, threshold t=3 (any 4 sign,
@@ -19,7 +18,7 @@ const (
 )
 
 type fixture struct {
-	group  *keyfile.Group
+	group  *core.Group
 	shares []*core.PrivateKeyShare // 1-based
 }
 
@@ -42,8 +41,13 @@ func testFixture(t *testing.T) *fixture {
 		for i := 1; i <= fixN; i++ {
 			shares[i] = views[i].Share
 		}
+		group, err := core.NewGroup("service-test/v1", fixN, fixT, views[1])
+		if err != nil {
+			fixErr = err
+			return
+		}
 		fix = &fixture{
-			group:  keyfile.NewGroup("service-test/v1", fixN, fixT, views[1]),
+			group:  group,
 			shares: shares,
 		}
 	})

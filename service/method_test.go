@@ -1,0 +1,92 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// methodMatrix drives the wrong-method tests: every known path must
+// reject every method other than its own with 405, an Allow header, and
+// the JSON error schema.
+var methodMatrix = []struct {
+	path  string
+	allow string
+}{
+	{"/v1/sign", http.MethodPost},
+	{"/v1/sign-batch", http.MethodPost},
+	{"/v1/pubkey", http.MethodGet},
+	{"/healthz", http.MethodGet},
+}
+
+func checkMethodNotAllowed(t *testing.T, h http.Handler, path, allow string) {
+	t.Helper()
+	wrong := []string{http.MethodGet, http.MethodPut, http.MethodDelete, http.MethodPatch, http.MethodHead}
+	if allow == http.MethodGet {
+		wrong = []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch}
+	}
+	for _, method := range wrong {
+		req := httptest.NewRequest(method, path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", method, path, rec.Code)
+			continue
+		}
+		if got := rec.Header().Get("Allow"); got != allow {
+			t.Errorf("%s %s: Allow header %q, want %q", method, path, got, allow)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Errorf("%s %s: non-JSON 405 body %q", method, path, rec.Body.String())
+			continue
+		}
+		if er.Code != CodeMethodNotAllowed || er.Error == "" {
+			t.Errorf("%s %s: error body %+v, want code %q", method, path, er, CodeMethodNotAllowed)
+		}
+	}
+}
+
+// TestSignerRejectsWrongMethods: the signer's endpoints only accept their
+// registered method.
+func TestSignerRejectsWrongMethods(t *testing.T) {
+	f := testFixture(t)
+	signer := newTestSigner(t, f, 1)
+	for _, m := range methodMatrix {
+		checkMethodNotAllowed(t, signer, m.path, m.allow)
+	}
+	checkMethodNotAllowed(t, signer, "/v1/vk", http.MethodGet)
+
+	// The right method still works after the fallback registrations.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	signer.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz broken by method fallbacks: %d", rec.Code)
+	}
+}
+
+// TestCoordinatorRejectsWrongMethods mirrors the signer test on the
+// gateway.
+func TestCoordinatorRejectsWrongMethods(t *testing.T) {
+	f := testFixture(t)
+	urls := make([]string, f.group.N)
+	for i := range urls {
+		urls[i] = "http://127.0.0.1:0" // never contacted
+	}
+	coord, err := NewCoordinator(f.group, urls, CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range methodMatrix {
+		checkMethodNotAllowed(t, coord, m.path, m.allow)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/pubkey", nil)
+	rec := httptest.NewRecorder()
+	coord.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/pubkey broken by method fallbacks: %d", rec.Code)
+	}
+}

@@ -110,7 +110,10 @@ type HealthResponse struct {
 	Inflight int    `json:"inflight,omitempty"` // signer: requests holding or waiting for a worker
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// ErrorResponse is the body of every non-2xx answer. Code, when set, is
+// one of the Code* constants — a stable machine-readable classification
+// that the client package maps back onto typed sentinel errors.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

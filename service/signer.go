@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/keyfile"
 )
 
 // SignerConfig bounds the signer's concurrency. Partial signing costs two
@@ -48,7 +47,7 @@ func (c SignerConfig) withDefaults() SignerConfig {
 // Signer keeps no per-request state and any number of replicas of the
 // same share behave identically.
 type Signer struct {
-	group *keyfile.Group
+	group *core.Group
 	share *core.PrivateKeyShare
 	cfg   SignerConfig
 
@@ -58,7 +57,7 @@ type Signer struct {
 }
 
 // NewSigner builds a signer for one share of the given group.
-func NewSigner(group *keyfile.Group, share *core.PrivateKeyShare, cfg SignerConfig) (*Signer, error) {
+func NewSigner(group *core.Group, share *core.PrivateKeyShare, cfg SignerConfig) (*Signer, error) {
 	if share.Index < 1 || share.Index > group.N {
 		return nil, fmt.Errorf("service: share index %d outside group 1..%d", share.Index, group.N)
 	}
@@ -74,6 +73,13 @@ func NewSigner(group *keyfile.Group, share *core.PrivateKeyShare, cfg SignerConf
 	s.mux.HandleFunc("GET /v1/pubkey", s.handlePubkey)
 	s.mux.HandleFunc("GET /v1/vk", s.handleVK)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Any other method on a known path is answered 405 + Allow with a
+	// JSON body, not the mux's plain-text default.
+	s.mux.HandleFunc("/v1/sign", methodNotAllowed(http.MethodPost))
+	s.mux.HandleFunc("/v1/sign-batch", methodNotAllowed(http.MethodPost))
+	s.mux.HandleFunc("/v1/pubkey", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/vk", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
 	return s, nil
 }
 
@@ -86,13 +92,13 @@ func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
 		return
 	}
 	// Mirror of the coordinator's input check: an absent or empty message
 	// is the client's fault, not a backend failure.
 	if len(req.Message) == 0 {
-		writeError(w, http.StatusBadRequest, "missing message")
+		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "missing message")
 		return
 	}
 	release, ok := s.acquireWorker(w, r)
@@ -122,20 +128,20 @@ func (s *Signer) handleSignBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
 		return
 	}
 	if len(req.Messages) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "empty batch")
 		return
 	}
 	if len(req.Messages) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d messages exceeds limit %d", len(req.Messages), s.cfg.MaxBatch))
+		writeErrorCode(w, http.StatusBadRequest, CodeBatchTooLarge, fmt.Sprintf("batch of %d messages exceeds limit %d", len(req.Messages), s.cfg.MaxBatch))
 		return
 	}
 	for j, msg := range req.Messages {
 		if len(msg) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("missing message at index %d", j))
+			writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, fmt.Sprintf("missing message at index %d", j))
 			return
 		}
 	}
@@ -193,7 +199,7 @@ grab:
 	wg.Wait()
 
 	if r.Context().Err() != nil {
-		writeError(w, http.StatusServiceUnavailable, "canceled mid-batch")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeCanceled, "canceled mid-batch")
 		return
 	}
 	if signErr != nil {
@@ -211,7 +217,7 @@ func (s *Signer) acquireWorker(w http.ResponseWriter, r *http.Request) (release 
 	if s.inflight.Add(1) > int64(s.cfg.MaxWorkers+s.cfg.MaxQueue) {
 		s.inflight.Add(-1)
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "signer overloaded")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeOverloaded, "signer overloaded")
 		return nil, false
 	}
 	select {
@@ -222,7 +228,7 @@ func (s *Signer) acquireWorker(w http.ResponseWriter, r *http.Request) (release 
 		}, true
 	case <-r.Context().Done():
 		s.inflight.Add(-1)
-		writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeCanceled, "canceled while queued")
 		return nil, false
 	}
 }
@@ -253,4 +259,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+// methodNotAllowed is the fallback handler registered on every known path
+// without a method pattern: requests with the wrong HTTP method get a
+// 405 with an Allow header and the service's JSON error schema.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeErrorCode(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
+	}
 }
