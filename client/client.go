@@ -90,6 +90,14 @@ func (e *APIError) Unwrap() []error {
 		return []error{tsig.ErrQuorumUnreachable, tsig.ErrInsufficientShares}
 	case service.CodeQuorumInvalidShares:
 		return []error{tsig.ErrQuorumUnreachable, tsig.ErrInsufficientShares, tsig.ErrInvalidShare}
+	case service.CodeNoKey:
+		return []error{tsig.ErrNoKeyMaterial}
+	case service.CodeProtoFailed:
+		return []error{tsig.ErrProtocolFailed}
+	case service.CodeSessionNotFound:
+		return []error{service.ErrSessionNotFound}
+	case service.CodeConflict:
+		return []error{service.ErrConflict}
 	default:
 		return nil
 	}
@@ -141,6 +149,51 @@ func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*tsig.Signatur
 		}
 	}
 	return sigs, &br, nil
+}
+
+// RunDKG asks the coordinator to drive a distributed key generation
+// across its signer daemons: every daemon generates its share locally
+// with Pedersen's DKG — no trusted dealer, no pre-distributed key
+// material, and no share ever crosses the wire to this client. The
+// returned Group is the public outcome (threshold public key plus
+// verification keys), decoded from the response and validated; t is the
+// threshold (any t+1 of the coordinator's n signers will sign, n >=
+// 2t+1) and domain the parameter domain-separation label.
+//
+// The call is long-running (it spans every protocol round plus the
+// finish phase), so pass a context with a generous deadline. Typed
+// failures cross the wire: errors.Is(err, tsig.ErrProtocolFailed) when
+// too many signers crashed or the survivors disagreed, and
+// service.ErrConflict when the quorum already holds key material.
+func (c *Client) RunDKG(ctx context.Context, t int, domain string) (*tsig.Group, *service.ProtoRunResponse, error) {
+	return c.runProto(ctx, "/v1/proto/dkg/run", service.ProtoRunRequest{T: t, Domain: domain})
+}
+
+// RunRefresh asks the coordinator to drive one proactive refresh epoch
+// (Section 3.3) across its signer daemons: every daemon's share is
+// re-randomized in place while the threshold public key stays the same,
+// so shares stolen in different epochs cannot be combined. The returned
+// Group carries the new verification keys; any signers listed in the
+// response's Crashed field kept their old (now stale) shares and need
+// share recovery before they can sign again.
+func (c *Client) RunRefresh(ctx context.Context) (*tsig.Group, *service.ProtoRunResponse, error) {
+	return c.runProto(ctx, "/v1/proto/refresh/run", service.ProtoRunRequest{})
+}
+
+func (c *Client) runProto(ctx context.Context, path string, req service.ProtoRunRequest) (*tsig.Group, *service.ProtoRunResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pr service.ProtoRunResponse
+	if err := c.postJSON(ctx, path, body, &pr); err != nil {
+		return nil, nil, err
+	}
+	group, err := tsig.UnmarshalGroup(pr.Group)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: coordinator returned malformed group: %w", err)
+	}
+	return group, &pr, nil
 }
 
 // FetchPubkey retrieves the group description and reconstructs the

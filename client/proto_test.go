@@ -1,0 +1,102 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	tsig "repro"
+	"repro/service"
+)
+
+// startKeylessService brings up n keyless signer daemons and a keyless
+// coordinator — a quorum with zero pre-distributed key material.
+func startKeylessService(t *testing.T, n int) string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 1; i <= n; i++ {
+		s, err := service.NewDaemonSigner(service.DaemonConfig{Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(s)
+		t.Cleanup(srv.Close)
+		urls[i-1] = srv.URL
+	}
+	coord, err := service.NewKeylessCoordinator(urls, service.CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// TestE2E_ClientDKGAndRefresh walks the fully distributed lifecycle
+// through the public client: remote keygen on a keyless quorum, sign,
+// proactive refresh, sign again — with typed errors before the key
+// exists and on a conflicting re-keygen.
+func TestE2E_ClientDKGAndRefresh(t *testing.T) {
+	baseURL := startKeylessService(t, 5)
+	c := &Client{BaseURL: baseURL}
+	ctx := context.Background()
+
+	// Before the keygen, signing fails with the typed sentinel across
+	// the HTTP boundary.
+	if _, _, err := c.Sign(ctx, []byte("too early")); !errors.Is(err, tsig.ErrNoKeyMaterial) {
+		t.Fatalf("pre-keygen Sign err = %v, want ErrNoKeyMaterial", err)
+	}
+	if _, _, err := c.RunRefresh(ctx); !errors.Is(err, tsig.ErrNoKeyMaterial) {
+		t.Fatalf("pre-keygen RunRefresh err = %v, want ErrNoKeyMaterial", err)
+	}
+
+	group, resp, err := c.RunDKG(ctx, 2, "client-proto/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group.N != 5 || group.T != 2 || group.Domain != "client-proto/v1" {
+		t.Fatalf("group n=%d t=%d domain %q", group.N, group.T, group.Domain)
+	}
+	if len(resp.Qual) != 5 || len(resp.Crashed) != 0 {
+		t.Fatalf("run response %+v", resp)
+	}
+
+	msg := []byte("distributed lifecycle")
+	sig, _, err := c.Sign(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !group.Verify(msg, sig) {
+		t.Fatal("signature does not verify under the DKG'd group")
+	}
+
+	// Re-running keygen on a keyed quorum is a typed conflict.
+	if _, _, err := c.RunDKG(ctx, 2, "client-proto/v1"); !errors.Is(err, service.ErrConflict) {
+		t.Fatalf("re-keygen err = %v, want ErrConflict", err)
+	}
+
+	// One refresh epoch: same public key, new verification keys, still
+	// signing.
+	refreshed, rresp, err := c.RunRefresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed.PK.Equal(group.PK) {
+		t.Fatal("refresh changed the public key")
+	}
+	if refreshed.VKs[1].Equal(group.VKs[1]) {
+		t.Fatal("refresh did not re-randomize the verification keys")
+	}
+	if len(rresp.Crashed) != 0 {
+		t.Fatalf("refresh crashed = %v", rresp.Crashed)
+	}
+	msg2 := []byte("after the epoch")
+	sig2, _, err := c.Sign(ctx, msg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed.Verify(msg2, sig2) {
+		t.Fatal("post-refresh signature does not verify")
+	}
+}

@@ -1,15 +1,25 @@
 // Command tsigcli is the client front end for the Section 3 threshold
-// signature: it generates a key group (simulating the DKG among n local
-// "servers"), produces partial signatures from individual share files,
-// combines them, verifies full signatures — and can request a signature
-// from a running tsigd coordinator over HTTP.
+// signature: it generates a key group (locally, simulating the DKG among
+// n local "servers", or remotely, by driving the real distributed keygen
+// across a tsigd quorum), produces partial signatures from individual
+// share files, combines them, verifies full signatures, requests
+// signatures from a running tsigd coordinator, and triggers proactive
+// share refresh epochs.
 //
 //	tsigcli keygen  -n 5 -t 2 -domain my-app -dir keys/
+//	tsigcli keygen  -remote http://coordinator:9090 -t 2 -domain my-app -dir keys/
 //	tsigcli sign    -group keys/group.json -share keys/share-1.json -msg "hello" -out 1.psig
 //	tsigcli sign    -remote http://coordinator:9090 -msg "hello" -out final.sig
 //	tsigcli sign    -remote http://coordinator:9090 -batch -out sigs.txt "msg one" "msg two"
+//	tsigcli refresh -remote http://coordinator:9090 -group keys/group.json
 //	tsigcli combine -group keys/group.json -msg "hello" -out final.sig 1.psig 3.psig 5.psig
 //	tsigcli verify  -group keys/group.json -msg "hello" -sig final.sig
+//
+// With -remote, keygen runs the actual wire protocol: every share is
+// generated on — and never leaves — its own signer daemon, and only the
+// public group description comes back (written to -dir/group.json).
+// refresh -remote re-randomizes every daemon's share in place without
+// changing the public key.
 //
 // Each share file is the complete private state of one server; in a real
 // deployment each lives on a different machine behind a tsigd signer
@@ -23,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	tsig "repro"
@@ -39,6 +50,8 @@ func main() {
 		err = cmdKeygen(os.Args[2:])
 	case "sign":
 		err = cmdSign(os.Args[2:])
+	case "refresh":
+		err = cmdRefresh(os.Args[2:])
 	case "combine":
 		err = cmdCombine(os.Args[2:])
 	case "verify":
@@ -53,18 +66,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tsigcli {keygen|sign|combine|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tsigcli {keygen|sign|refresh|combine|verify} [flags]")
 	os.Exit(2)
 }
 
 func cmdKeygen(args []string) error {
 	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
-	n := fs.Int("n", 5, "number of servers")
+	n := fs.Int("n", 5, "number of servers (local keygen only; remote uses the coordinator's signer count)")
 	t := fs.Int("t", 2, "threshold (any t+1 sign; requires n >= 2t+1)")
 	domain := fs.String("domain", "tsigcli/v1", "parameter domain label")
 	dir := fs.String("dir", ".", "output directory")
+	remote := fs.String("remote", "", "coordinator base URL: drive the distributed keygen across its signer daemons instead of generating locally")
+	timeout := fs.Duration("timeout", 60*time.Second, "remote keygen timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		return remoteKeygen(*remote, *t, *domain, *dir, *timeout)
 	}
 	scheme := tsig.NewScheme(tsig.WithDomain(*domain))
 	group, members, err := scheme.Keygen(*n, *t)
@@ -76,6 +94,83 @@ func cmdKeygen(args []string) error {
 	}
 	fmt.Printf("keygen: n=%d t=%d; wrote group.json and %d share files to %s\n",
 		*n, *t, *n, *dir)
+	return nil
+}
+
+// remoteKeygen drives the real distributed keygen across the
+// coordinator's signer daemons. Every private share is born on its own
+// daemon and never crosses the wire; only the public group description
+// comes back and is written to dir/group.json.
+func remoteKeygen(baseURL string, t int, domain, dir string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cl := &client.Client{BaseURL: baseURL}
+	group, resp, err := cl.RunDKG(ctx, t, domain)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "group.json")
+	if err := tsig.WriteGroup(path, group); err != nil {
+		return err
+	}
+	fmt.Printf("keygen: distributed keygen over %d daemons done in %d rounds (qual %v", group.N, resp.Rounds, resp.Qual)
+	if len(resp.Crashed) > 0 {
+		fmt.Printf(", crashed %v", resp.Crashed)
+	}
+	fmt.Printf("); n=%d t=%d domain %q -> %s\n", group.N, group.T, group.Domain, path)
+	return nil
+}
+
+// cmdRefresh triggers one proactive refresh epoch on a running quorum:
+// every daemon re-randomizes its share in place, the public key is
+// unchanged, and the local group file (when given) is rewritten with the
+// new verification keys.
+func cmdRefresh(args []string) error {
+	fs := flag.NewFlagSet("refresh", flag.ExitOnError)
+	remote := fs.String("remote", "", "coordinator base URL (required)")
+	groupPath := fs.String("group", "", "local group file to rewrite with the refreshed verification keys")
+	timeout := fs.Duration("timeout", 60*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" {
+		return fmt.Errorf("refresh: -remote is required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := &client.Client{BaseURL: *remote}
+
+	// An explicitly named group file pins the refresh invariant — the
+	// public key must not change — so it must load; silently skipping
+	// the check (and then overwriting the file) would defeat it.
+	var oldPK *tsig.PublicKey
+	if *groupPath != "" {
+		old, err := tsig.LoadGroup(*groupPath)
+		if err != nil {
+			return err
+		}
+		oldPK = old.PK
+	}
+	group, resp, err := cl.RunRefresh(ctx)
+	if err != nil {
+		return err
+	}
+	if oldPK != nil && !group.PK.Equal(oldPK) {
+		return fmt.Errorf("refresh: coordinator returned a group with a DIFFERENT public key")
+	}
+	if *groupPath != "" {
+		if err := tsig.WriteGroup(*groupPath, group); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("refresh: epoch done in %d rounds; public key unchanged, verification keys re-randomized", resp.Rounds)
+	if len(resp.Crashed) > 0 {
+		fmt.Printf(" (stale signers: %v)", resp.Crashed)
+	}
+	if *groupPath != "" {
+		fmt.Printf(" -> %s", *groupPath)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -130,3 +130,81 @@ func TestTrimWS(t *testing.T) {
 		t.Fatal("trimWS misbehaves")
 	}
 }
+
+// TestRemoteKeygenRefreshWorkflow drives the fully distributed lifecycle
+// through the CLI: keyless daemons generate the key over the wire
+// (keygen -remote), the quorum signs, and a refresh epoch re-randomizes
+// the shares while the local group file is rewritten in place.
+func TestRemoteKeygenRefreshWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	const n = 5
+	urls := make([]string, n)
+	for i := 1; i <= n; i++ {
+		signer, err := service.NewDaemonSigner(service.DaemonConfig{Index: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(signer)
+		defer srv.Close()
+		urls[i-1] = srv.URL
+	}
+	coord, err := service.NewKeylessCoordinator(urls, service.CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(coord)
+	defer coordSrv.Close()
+
+	// Remote keygen writes the public group file; no share files appear
+	// locally (they live on the daemons).
+	if err := cmdKeygen([]string{"-remote", coordSrv.URL, "-t", "2", "-domain", "cli-proto-test", "-dir", dir}); err != nil {
+		t.Fatalf("remote keygen: %v", err)
+	}
+	groupPath := filepath.Join(dir, "group.json")
+	group, err := tsig.LoadGroup(groupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group.N != n || group.T != 2 || group.Domain != "cli-proto-test" {
+		t.Fatalf("group n=%d t=%d domain %q", group.N, group.T, group.Domain)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "share-1.json")); err == nil {
+		t.Fatal("remote keygen leaked a share file locally")
+	}
+
+	// The fresh quorum signs, verified against the local group file.
+	sigPath := filepath.Join(dir, "proto.sig")
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-group", groupPath, "-msg", "born distributively", "-out", sigPath}); err != nil {
+		t.Fatalf("sign after remote keygen: %v", err)
+	}
+	if err := cmdVerify([]string{"-group", groupPath, "-msg", "born distributively", "-sig", sigPath}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// Refresh rewrites the group file: same public key, new VKs.
+	if err := cmdRefresh([]string{"-remote", coordSrv.URL, "-group", groupPath}); err != nil {
+		t.Fatalf("remote refresh: %v", err)
+	}
+	refreshed, err := tsig.LoadGroup(groupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed.PK.Equal(group.PK) {
+		t.Fatal("refresh changed the public key")
+	}
+	if refreshed.VKs[1].Equal(group.VKs[1]) {
+		t.Fatal("refresh did not re-randomize the verification keys")
+	}
+	// Old signatures still verify; the quorum still signs.
+	if err := cmdVerify([]string{"-group", groupPath, "-msg", "born distributively", "-sig", sigPath}); err != nil {
+		t.Fatalf("verify after refresh: %v", err)
+	}
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-group", groupPath, "-msg", "raised distributively", "-out", sigPath}); err != nil {
+		t.Fatalf("sign after refresh: %v", err)
+	}
+
+	// refresh without -remote is a usage error.
+	if err := cmdRefresh(nil); err == nil {
+		t.Fatal("refresh accepted without -remote")
+	}
+}

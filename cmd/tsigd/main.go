@@ -2,10 +2,33 @@
 // daemons that each hold one private key share, and the coordinator
 // gateway that fans client requests out to them.
 //
-// Generate a keystore first (tsigcli keygen -n 5 -t 2 -dir keys/), then:
+// # Fully distributed lifecycle (no trusted dealer anywhere)
+//
+// Daemons can start with ZERO key material and generate it themselves by
+// running the distributed keygen over the wire — each share is born on
+// its own daemon and never leaves it:
+//
+//	tsigd signer      -keystore /var/lib/tsig -index 1 -listen :8071
+//	...               (one keyless daemon per server, indices 1..n)
+//	tsigd coordinator -group keys/group.json -listen :9090 \
+//	    -signers http://host1:8071,...,http://host5:8075
+//
+//	tsigcli keygen  -remote http://coordinator:9090 -t 2 -domain my-app -dir keys/
+//	tsigcli sign    -remote http://coordinator:9090 -msg "hello" -out final.sig
+//	tsigcli refresh -remote http://coordinator:9090 -group keys/group.json
+//
+// The keygen run drives Pedersen's DKG across the signers (one broadcast
+// round in the fault-free case), each daemon persists its share via its
+// keystore, the coordinator persists the public group file, and the
+// quorum immediately serves signatures. The refresh run re-randomizes
+// every share in place (Section 3.3) without changing the public key.
+//
+// # Dealer-based keystores
+//
+// A pre-generated keystore (tsigcli keygen -n 5 -t 2 -dir keys/) still
+// works:
 //
 //	tsigd signer      -group keys/group.json -share keys/share-1.json -listen :8071
-//	tsigd signer      -group keys/group.json -share keys/share-2.json -listen :8072
 //	...
 //	tsigd coordinator -group keys/group.json -listen :9090 \
 //	    -signers http://host1:8071,http://host2:8072,...
@@ -13,7 +36,7 @@
 // Clients then obtain full signatures with a single request:
 //
 //	tsigcli sign -remote http://coordinator:9090 -msg "hello" -out final.sig
-//	tsigcli sign -remote http://coordinator:9090 -batch "msg one" "msg two" "msg three"
+//	tsigcli sign -remote http://coordinator:9090 -batch "msg one" "msg two"
 //
 // The coordinator also serves POST /v1/sign-batch (many messages, one
 // request), and -batch-window makes it merge concurrent single-message
@@ -21,7 +44,10 @@
 //
 // Because partial signing is non-interactive and deterministic, signers
 // never talk to one another and keep no per-request state; the service
-// tolerates up to t signers being down, slow, or Byzantine.
+// tolerates up to t signers being down, slow, or Byzantine. During
+// protocol sessions (keygen, refresh) the coordinator relays the round
+// messages between signers; protect those links with TLS in production
+// (see the ROADMAP open items).
 package main
 
 import (
@@ -33,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -69,40 +96,99 @@ func cmdSigner(args []string) error {
 	fs := flag.NewFlagSet("signer", flag.ExitOnError)
 	groupPath := fs.String("group", "group.json", "group file (public key material)")
 	sharePath := fs.String("share", "", "this server's private share file")
+	keystore := fs.String("keystore", "", "keystore directory: load group.json and share-<index>.json when present, persist keygen/refresh results there (requires -index)")
+	index := fs.Int("index", 0, "this daemon's 1-based player index (required with -keystore; otherwise taken from the share)")
 	listen := fs.String("listen", ":8071", "listen address")
 	workers := fs.Int("workers", 0, "max concurrent signing operations (0 = default)")
 	queue := fs.Int("queue", 0, "max requests waiting for a worker (0 = default)")
 	maxBatch := fs.Int("max-batch", 0, "max messages per /v1/sign-batch request (0 = default)")
+	sessionTTL := fs.Duration("session-ttl", 0, "protocol session GC timeout (0 = default 2m)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *sharePath == "" {
-		return fmt.Errorf("signer: -share is required")
+
+	cfg := service.DaemonConfig{
+		Signer: service.SignerConfig{
+			MaxWorkers: *workers, MaxQueue: *queue, MaxBatch: *maxBatch,
+		},
+		Index:      *index,
+		SessionTTL: *sessionTTL,
 	}
-	// LoadMember validates the keystore as a whole (group invariants plus
-	// share bounds), so a corrupt or mismatched pair fails here.
-	member, err := tsig.LoadMember(*groupPath, *sharePath)
+	switch {
+	case *keystore != "":
+		// Keystore mode: the daemon owns a directory. It loads existing
+		// material and persists whatever the distributed protocols
+		// produce, so a daemon may start keyless and become a signer the
+		// moment the remote keygen completes.
+		if *index < 1 {
+			return fmt.Errorf("signer: -keystore requires -index")
+		}
+		gp := filepath.Join(*keystore, "group.json")
+		sp := filepath.Join(*keystore, fmt.Sprintf("share-%d.json", *index))
+		cfg.Persist = persistShare(gp, sp)
+		// Only genuine non-existence means "keyless": any other Stat
+		// failure (permissions, I/O) must abort startup — starting
+		// keyless would let a later keygen overwrite a share that is
+		// merely unreadable right now.
+		switch _, err := os.Stat(sp); {
+		case err == nil:
+			member, err := tsig.LoadMember(gp, sp)
+			if err != nil {
+				return err
+			}
+			if member.Index() != *index {
+				return fmt.Errorf("signer: %s holds share %d, not %d", sp, member.Index(), *index)
+			}
+			cfg.Group, cfg.Share = member.Group(), member.PrivateShare()
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("tsigd signer %d: no key material in %s yet; waiting for a distributed keygen", *index, *keystore)
+		default:
+			return fmt.Errorf("signer: checking %s: %w", sp, err)
+		}
+	case *sharePath != "":
+		// Explicit file mode (the historical flags). LoadMember validates
+		// the keystore as a whole (group invariants plus share bounds), so
+		// a corrupt or mismatched pair fails here. Refresh results are
+		// persisted back to the same paths.
+		member, err := tsig.LoadMember(*groupPath, *sharePath)
+		if err != nil {
+			return err
+		}
+		cfg.Group, cfg.Share = member.Group(), member.PrivateShare()
+		cfg.Persist = persistShare(*groupPath, *sharePath)
+	default:
+		return fmt.Errorf("signer: -share or -keystore is required")
+	}
+
+	signer, err := service.NewDaemonSigner(cfg)
 	if err != nil {
 		return err
 	}
-	group := member.Group()
-	signer, err := service.NewSigner(group, member.PrivateShare(), service.SignerConfig{
-		MaxWorkers: *workers, MaxQueue: *queue, MaxBatch: *maxBatch,
-	})
-	if err != nil {
-		return err
+	if g := signer.Group(); g != nil {
+		log.Printf("tsigd signer %d/%d (t=%d, domain %q) listening on %s",
+			signer.Index(), g.N, g.T, g.Domain, *listen)
+	} else {
+		log.Printf("tsigd signer %d (keyless) listening on %s", signer.Index(), *listen)
 	}
-	log.Printf("tsigd signer %d/%d (t=%d, domain %q) listening on %s",
-		signer.Index(), group.N, group.T, group.Domain, *listen)
 	return serve(*listen, signer)
+}
+
+// persistShare writes new key material through to disk via the keyfile
+// package — called by the daemon after a keygen or refresh session, and
+// before the material is installed for serving.
+func persistShare(groupPath, sharePath string) func(*tsig.Group, *tsig.PrivateKeyShare) error {
+	return func(g *tsig.Group, sk *tsig.PrivateKeyShare) error {
+		return tsig.WriteMember(groupPath, sharePath, g, sk)
+	}
 }
 
 func cmdCoordinator(args []string) error {
 	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
-	groupPath := fs.String("group", "group.json", "group file (public key material)")
+	groupPath := fs.String("group", "group.json", "group file; loaded when present, (re)written after a keygen or refresh run")
 	signers := fs.String("signers", "", "comma-separated signer base URLs, in share order (1..n)")
 	listen := fs.String("listen", ":9090", "listen address")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-signer request timeout")
+	protoTimeout := fs.Duration("proto-timeout", 0, "per-signer protocol round timeout for keygen/refresh runs (0 = default 10s)")
 	cache := fs.Int("cache", 0, "signature LRU cache size (0 = default, negative disables)")
 	batchWindow := fs.Duration("batch-window", 0,
 		"collect concurrent sign requests for this long and fan them out as one batch (0 disables)")
@@ -113,23 +199,40 @@ func cmdCoordinator(args []string) error {
 	if *signers == "" {
 		return fmt.Errorf("coordinator: -signers is required")
 	}
-	group, err := tsig.LoadGroup(*groupPath)
-	if err != nil {
-		return err
-	}
 	urls := strings.Split(*signers, ",")
 	for i := range urls {
 		urls[i] = strings.TrimRight(strings.TrimSpace(urls[i]), "/")
 	}
-	coord, err := service.NewCoordinator(group, urls, service.CoordinatorConfig{
+	cfg := service.CoordinatorConfig{
 		SignerTimeout: *timeout, CacheSize: *cache,
 		BatchWindow: *batchWindow, MaxBatch: *maxBatch,
-	})
-	if err != nil {
+		ProtoRoundTimeout: *protoTimeout,
+		PersistGroup: func(g *tsig.Group) error {
+			return tsig.WriteGroup(*groupPath, g)
+		},
+	}
+
+	var coord *service.Coordinator
+	group, err := tsig.LoadGroup(*groupPath)
+	switch {
+	case err == nil:
+		if coord, err = service.NewCoordinator(group, urls, cfg); err != nil {
+			return err
+		}
+		log.Printf("tsigd coordinator for n=%d t=%d (domain %q) listening on %s, %d signer backends",
+			group.N, group.T, group.Domain, *listen, len(urls))
+	case errors.Is(err, os.ErrNotExist):
+		// No group yet: start keyless and wait for a remote keygen run
+		// (tsigcli keygen -remote) to produce one; it is persisted to
+		// -group and served from then on.
+		if coord, err = service.NewKeylessCoordinator(urls, cfg); err != nil {
+			return err
+		}
+		log.Printf("tsigd coordinator (keyless, %d signer backends) listening on %s; POST /v1/proto/dkg/run to generate a key",
+			len(urls), *listen)
+	default:
 		return err
 	}
-	log.Printf("tsigd coordinator for n=%d t=%d (domain %q) listening on %s, %d signer backends",
-		group.N, group.T, group.Domain, *listen, len(urls))
 	return serve(*listen, coord)
 }
 

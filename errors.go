@@ -48,4 +48,12 @@ var (
 
 	// ErrBatchTooLarge: a batch request exceeded the configured MaxBatch.
 	ErrBatchTooLarge = core.ErrBatchTooLarge
+
+	// ErrNoKeyMaterial: a keyless daemon was asked for an operation that
+	// needs key material before the distributed keygen has run.
+	ErrNoKeyMaterial = core.ErrNoKeyMaterial
+
+	// ErrProtocolFailed: a distributed protocol session (remote keygen or
+	// refresh) could not complete.
+	ErrProtocolFailed = core.ErrProtocolFailed
 )

@@ -127,6 +127,18 @@ type VerificationKey struct {
 	V1, V2 *bn254.G2
 }
 
+// VerificationKeyOf computes the verification key a private share
+// implies: VK_i = (g^_z^{A_1} g^_r^{B_1}, g^_z^{A_2} g^_r^{B_2}). A share
+// genuinely belongs to a group exactly when this equals the group's
+// VK_i — the binding check the keystore loader uses to reject torn or
+// mixed-up share/group file pairs.
+func VerificationKeyOf(params *Params, sk *PrivateKeyShare) *VerificationKey {
+	return &VerificationKey{
+		V1: lhsps.CommitPair(params.LH, sk.A1, sk.B1),
+		V2: lhsps.CommitPair(params.LH, sk.A2, sk.B2),
+	}
+}
+
 // Equal reports component-wise equality.
 func (vk *VerificationKey) Equal(other *VerificationKey) bool {
 	return vk.V1.Equal(other.V1) && vk.V2.Equal(other.V2)

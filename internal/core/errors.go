@@ -47,9 +47,14 @@ var (
 	// ErrBatchTooLarge rejects batch requests with more messages than
 	// the configured maximum.
 	ErrBatchTooLarge = errors.New("tsig: batch too large")
-)
 
-// ErrNotEnoughShares is the historical name of ErrInsufficientShares.
-//
-// Deprecated: use ErrInsufficientShares.
-var ErrNotEnoughShares = ErrInsufficientShares
+	// ErrNoKeyMaterial marks an operation that needs key material a
+	// daemon does not hold yet: a keyless signer or coordinator is asked
+	// to sign (or refresh) before the distributed keygen has run.
+	ErrNoKeyMaterial = errors.New("tsig: no key material")
+
+	// ErrProtocolFailed marks a distributed protocol session (keygen or
+	// refresh) that could not complete: too many participants crashed,
+	// the survivors disagreed on the outcome, or a player aborted.
+	ErrProtocolFailed = errors.New("tsig: protocol session failed")
+)

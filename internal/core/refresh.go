@@ -18,7 +18,10 @@ import (
 
 // RunRefresh executes one zero-sharing refresh epoch among n honest
 // players and returns the per-player DKG results (to be merged into the
-// existing key material via ApplyRefresh).
+// existing key material via ApplyRefresh). The run is driven by the same
+// session engine (internal/engine) that steps the networked refresh
+// sessions of repro/service, so the local and over-the-wire epochs
+// execute identical protocol code and cannot drift.
 func RunRefresh(params *Params, n, t int) (*dkg.Outcome, error) {
 	cfg := dkg.Config{N: n, T: t, NumSharings: Dim, Scheme: dkg.PedersenScheme{Params: params.LH}, Refresh: true}
 	out, err := dkg.Run(cfg)

@@ -145,7 +145,7 @@ func DistributedSign(views []*KeyShares, t int, signers []int, corrupted map[int
 		return nil, err
 	}
 	if comb.sig == nil {
-		return nil, ErrNotEnoughShares
+		return nil, ErrInsufficientShares
 	}
 	return &SessionResult{Signature: comb.sig, Stats: net.Stats()}, nil
 }

@@ -32,6 +32,7 @@
 package dkg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ import (
 	"sync"
 
 	"repro/internal/bn254"
+	"repro/internal/engine"
 	"repro/internal/lhsps"
 	"repro/internal/shamir"
 	"repro/internal/transport"
@@ -738,15 +740,25 @@ func Run(cfg Config) (*Outcome, error) {
 // (Byzantine implementations included). honest[i] must point to the
 // HonestPlayer for every index run by the protocol-following code, and be
 // nil for adversarial indices.
+//
+// The run is driven by the same session engine (internal/engine) that
+// steps the networked protocol sessions of repro/service, so the local
+// and over-the-wire keygen/refresh paths execute identical routing and
+// stepping code and cannot drift. Players are stepped sequentially in ID
+// order, which keeps runs deterministic for a shared seeded Config.Rng.
 func RunWithPlayers(cfg Config, players []transport.Player, honest []*HonestPlayer) (*Outcome, error) {
-	net, err := transport.NewNetwork(players)
+	peers := make([]engine.Peer, len(players))
+	for i, p := range players {
+		if p == nil {
+			return nil, fmt.Errorf("dkg: player %d is nil", i+1)
+		}
+		peers[i] = engine.LocalPeer{P: p}
+	}
+	report, err := engine.Run(context.Background(), peers, engine.RunConfig{MaxRounds: MaxRounds})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := net.Run(MaxRounds); err != nil {
-		return nil, err
-	}
-	out := &Outcome{Results: make([]*Result, cfg.N+1), Stats: net.Stats()}
+	out := &Outcome{Results: make([]*Result, cfg.N+1), Stats: report.Stats}
 	for i := 1; i <= cfg.N; i++ {
 		if honest[i] == nil {
 			continue

@@ -1,0 +1,159 @@
+package dkg
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"repro/internal/bn254"
+)
+
+// The DKG codecs decode bytes straight off the network once keygen and
+// refresh run over HTTP (the protocol sessions of repro/service), so they
+// are wire-exposed attack surface: malformed, truncated, oversized and
+// garbage inputs must error, never panic, and anything accepted must
+// re-encode to the same bytes (the encodings are canonical — two wire
+// forms must not alias one protocol message).
+
+// fuzzDims are the decode parameters of the Section 3 scheme over the
+// session layer: two parallel sharings, threshold 2, one commitment row.
+const (
+	fuzzSharings = 2
+	fuzzT        = 2
+	fuzzRows     = 1
+	fuzzDim      = 2 // Pedersen SecretDim
+)
+
+// validDealPayload builds a well-formed commitment tensor encoding.
+func validDealPayload() []byte {
+	g := bn254.G2Generator()
+	comms := make([][][]*bn254.G2, fuzzSharings)
+	for k := range comms {
+		comms[k] = make([][]*bn254.G2, fuzzT+1)
+		for l := 0; l <= fuzzT; l++ {
+			w := new(bn254.G2).ScalarMult(g, big.NewInt(int64(1+k*(fuzzT+1)+l)))
+			comms[k][l] = []*bn254.G2{w}
+		}
+	}
+	return encodeDeal(comms)
+}
+
+func FuzzDecodeDeal(f *testing.F) {
+	valid := validDealPayload()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+	junk := bytes.Repeat([]byte{0xff}, len(valid))
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comms, err := decodeDeal(data, fuzzSharings, fuzzT, fuzzRows)
+		if err != nil {
+			return
+		}
+		if len(comms) != fuzzSharings {
+			t.Fatalf("accepted deal with %d sharings", len(comms))
+		}
+		for _, perSharing := range comms {
+			if len(perSharing) != fuzzT+1 {
+				t.Fatalf("accepted deal with %d coefficient rows", len(perSharing))
+			}
+			for _, row := range perSharing {
+				if len(row) != fuzzRows || row[0] == nil {
+					t.Fatal("accepted deal with a malformed commitment row")
+				}
+			}
+		}
+		if !bytes.Equal(encodeDeal(comms), data) {
+			t.Fatalf("non-canonical deal round-trip")
+		}
+	})
+}
+
+func FuzzDecodeShares(f *testing.F) {
+	valid := encodeShares([]Share{
+		{big.NewInt(1), big.NewInt(2)},
+		{big.NewInt(3), big.NewInt(4)},
+	})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+	// Right length, scalar out of range (>= group order).
+	f.Add(bytes.Repeat([]byte{0xff}, fuzzSharings*fuzzDim*scalarLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		shares, err := decodeShares(data, fuzzSharings, fuzzDim)
+		if err != nil {
+			return
+		}
+		if len(shares) != fuzzSharings {
+			t.Fatalf("accepted %d sharings", len(shares))
+		}
+		for _, s := range shares {
+			if len(s) != fuzzDim {
+				t.Fatalf("accepted share of dimension %d", len(s))
+			}
+			for _, v := range s {
+				if v == nil || v.Sign() < 0 || v.Cmp(bn254.Order) >= 0 {
+					t.Fatal("accepted out-of-range scalar")
+				}
+			}
+		}
+		if !bytes.Equal(encodeShares(shares), data) {
+			t.Fatalf("non-canonical share round-trip")
+		}
+	})
+}
+
+func FuzzDecodeComplaint(f *testing.F) {
+	f.Add(encodeComplaint(3))
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accused, err := decodeComplaint(data)
+		if err != nil {
+			return
+		}
+		if accused < 0 || accused > 0xffff {
+			t.Fatalf("accepted accused index %d", accused)
+		}
+		if !bytes.Equal(encodeComplaint(accused), data) {
+			t.Fatalf("non-canonical complaint round-trip")
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	valid := encodeResponse([]responseEntry{
+		{Complainer: 2, Shares: []Share{{big.NewInt(5), big.NewInt(6)}, {big.NewInt(7), big.NewInt(8)}}},
+		{Complainer: 4, Shares: []Share{{big.NewInt(1), big.NewInt(2)}, {big.NewInt(3), big.NewInt(4)}}},
+	})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+	f.Add(bytes.Repeat([]byte{0xff}, 2+fuzzSharings*fuzzDim*scalarLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeResponse(data, fuzzSharings, fuzzDim)
+		if err != nil {
+			return
+		}
+		if len(entries) == 0 {
+			t.Fatal("accepted an empty response")
+		}
+		for _, e := range entries {
+			if len(e.Shares) != fuzzSharings {
+				t.Fatalf("accepted entry with %d sharings", len(e.Shares))
+			}
+		}
+		if !bytes.Equal(encodeResponse(entries), data) {
+			t.Fatalf("non-canonical response round-trip")
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package dkg
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// streamRand is a deterministic entropy source: an expanding SHA-256
+// counter stream. Two readers built from the same seed produce identical
+// byte streams, which makes whole protocol runs reproducible as long as
+// every player reads from the shared source in a deterministic order.
+type streamRand struct {
+	seed  [32]byte
+	buf   []byte
+	block uint64
+}
+
+func newStreamRand(seed string) *streamRand {
+	return &streamRand{seed: sha256.Sum256([]byte(seed))}
+}
+
+func (r *streamRand) Read(p []byte) (int, error) {
+	for len(r.buf) < len(p) {
+		h := sha256.New()
+		h.Write(r.seed[:])
+		var ctr [8]byte
+		for i := 0; i < 8; i++ {
+			ctr[i] = byte(r.block >> (8 * i))
+		}
+		h.Write(ctr[:])
+		r.block++
+		r.buf = h.Sum(r.buf)
+	}
+	n := copy(p, r.buf[:len(p)])
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// TestEngineRunMatchesNetworkRun is the drift regression for the session
+// refactor: the engine-driven Run (the path the local keygen/refresh AND
+// the networked protocol sessions use) must execute the protocol exactly
+// like the historical transport.Network simulator. With a shared seeded
+// entropy source, both paths must produce bit-identical shares, public
+// keys and traffic statistics — any divergence in stepping order, routing
+// or delivery timing shows up here.
+func TestEngineRunMatchesNetworkRun(t *testing.T) {
+	mkCfg := func(seed string) Config {
+		cfg := testConfig(5, 2, 2)
+		cfg.Rng = newStreamRand(seed)
+		return cfg
+	}
+
+	// Path A: the engine-driven driver (dkg.Run -> engine.Run).
+	outA, err := Run(mkCfg("drift-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: the in-process simulator, driven by hand.
+	cfgB := mkCfg("drift-seed")
+	players := make([]transport.Player, cfgB.N)
+	honest := make([]*HonestPlayer, cfgB.N+1)
+	for i := 1; i <= cfgB.N; i++ {
+		hp, err := NewHonestPlayer(cfgB, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		players[i-1] = hp
+		honest[i] = hp
+	}
+	net, err := transport.NewNetwork(players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(MaxRounds); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 1; i <= cfgB.N; i++ {
+		resA := outA.Results[i]
+		resB, err := honest[i].Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 2; k++ {
+			if !resA.PK[k][0].Equal(resB.PK[k][0]) {
+				t.Fatalf("player %d: engine and network runs disagree on PK[%d]", i, k)
+			}
+			for d := range resA.Share[k] {
+				if resA.Share[k][d].Cmp(resB.Share[k][d]) != 0 {
+					t.Fatalf("player %d: engine and network runs disagree on share (%d,%d)", i, k, d)
+				}
+			}
+		}
+		if len(resA.Qual) != len(resB.Qual) {
+			t.Fatalf("player %d: QUAL diverged: %v vs %v", i, resA.Qual, resB.Qual)
+		}
+	}
+
+	statsB := net.Stats()
+	if outA.Stats.TotalMessages() != statsB.TotalMessages() ||
+		outA.Stats.BroadcastBytes != statsB.BroadcastBytes ||
+		outA.Stats.UnicastBytes != statsB.UnicastBytes ||
+		outA.Stats.CommunicationRounds() != statsB.CommunicationRounds() {
+		t.Fatalf("traffic stats diverged: engine %+v vs network %+v", outA.Stats, statsB)
+	}
+}
+
+// TestRefreshDeterministicAcrossPaths pins the refresh mode the same way:
+// a zero-sharing run through the engine equals one through the simulator.
+func TestRefreshDeterministicAcrossPaths(t *testing.T) {
+	mkCfg := func() Config {
+		cfg := testConfig(5, 2, 2)
+		cfg.Refresh = true
+		cfg.Rng = newStreamRand("refresh-drift")
+		return cfg
+	}
+
+	outA, err := Run(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := mkCfg()
+	players := make([]transport.Player, cfgB.N)
+	honest := make([]*HonestPlayer, cfgB.N+1)
+	for i := 1; i <= cfgB.N; i++ {
+		hp, err := NewHonestPlayer(cfgB, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		players[i-1] = hp
+		honest[i] = hp
+	}
+	net, err := transport.NewNetwork(players)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(MaxRounds); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 1; i <= cfgB.N; i++ {
+		resB, err := honest[i].Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 2; k++ {
+			if !outA.Results[i].PK[k][0].IsInfinity() || !resB.PK[k][0].IsInfinity() {
+				t.Fatalf("player %d: refresh changed the public key component %d", i, k)
+			}
+			for d := range resB.Share[k] {
+				if outA.Results[i].Share[k][d].Cmp(resB.Share[k][d]) != 0 {
+					t.Fatalf("player %d: refresh share (%d,%d) diverged between paths", i, k, d)
+				}
+			}
+		}
+	}
+}

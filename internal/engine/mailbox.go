@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mailbox implements the routing rules of the communication model for n
+// players: Send stamps the sender identity and the round onto each
+// outgoing message (authenticated channels), queues unicast messages for
+// their recipient only (private channels) and broadcasts for everybody
+// identically (consistent broadcast), and NextRound hands each player its
+// inbox for the following round — messages sent in round k are delivered
+// at the beginning of round k+1. It also accumulates the traffic counters
+// Experiments E5 and E7 report. Mailbox is safe for concurrent Send calls,
+// so a driver may step players in parallel within a round.
+type Mailbox struct {
+	mu      sync.Mutex
+	n       int
+	pending [][]Message // inbox per player (1-based, index 0 unused)
+	stats   Stats
+}
+
+// NewMailbox creates a mailbox routing between players 1..n.
+func NewMailbox(n int) (*Mailbox, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("engine: mailbox for %d players", n)
+	}
+	return &Mailbox{n: n, pending: make([][]Message, n+1)}, nil
+}
+
+// N returns the number of players.
+func (mb *Mailbox) N() int { return mb.n }
+
+// Stats returns the accumulated traffic counters.
+func (mb *Mailbox) Stats() Stats {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.stats
+}
+
+// Send routes the messages player `from` emitted during `round`. The
+// sender identity and round are stamped here — a player cannot speak for
+// anybody else, no matter what it puts in Message.From.
+func (mb *Mailbox) Send(from, round int, msgs []Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, m := range msgs {
+		m.From = from
+		m.Round = round
+		size := len(m.Payload) + len(m.Kind)
+		for len(mb.stats.MessagesPerRound) <= round {
+			mb.stats.MessagesPerRound = append(mb.stats.MessagesPerRound, 0)
+		}
+		mb.stats.MessagesPerRound[round]++
+		if m.To == Broadcast {
+			mb.stats.BroadcastMessages++
+			mb.stats.BroadcastBytes += size
+			for id := 1; id <= mb.n; id++ {
+				mb.pending[id] = append(mb.pending[id], m)
+			}
+			continue
+		}
+		if m.To < 1 || m.To > mb.n {
+			return fmt.Errorf("%w: %d", ErrInvalidRecipient, m.To)
+		}
+		mb.stats.UnicastMessages++
+		mb.stats.UnicastBytes += size
+		mb.pending[m.To] = append(mb.pending[m.To], m)
+	}
+	return nil
+}
+
+// NextRound closes the current round: it returns the per-player inboxes
+// (1-based, index 0 unused) accumulated since the previous call and
+// resets the pending queues for the next round's sends.
+func (mb *Mailbox) NextRound() [][]Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	inboxes := mb.pending
+	mb.pending = make([][]Message, mb.n+1)
+	mb.stats.Rounds++
+	return inboxes
+}

@@ -172,9 +172,45 @@ func LoadShare(path string) (*core.PrivateKeyShare, error) {
 	return sk, nil
 }
 
-// LoadMember loads a group file and a share file together and binds them:
-// the share's index is bounds-checked against the group (1..n), so a
-// mismatched keystore fails here, not at signing time.
+// WriteMember writes one server's complete keystore — its group file and
+// its private share file — validating first that the share
+// cryptographically belongs to the group (its implied verification key
+// must equal the group's VK_i). The share is written before the group,
+// so a crash between the two writes leaves a share the (old) group file
+// does not bind, which LoadMember's own binding check rejects loudly at
+// the next startup, rather than a group file promising a share that was
+// never saved. This is the persistence hook the tsigd daemons call after
+// a distributed keygen or refresh.
+func WriteMember(groupPath, sharePath string, g *Group, sk *core.PrivateKeyShare) error {
+	if _, err := checkShareBinding(g, sk); err != nil {
+		return fmt.Errorf("keyfile: refusing to write mismatched keystore: %w", err)
+	}
+	if err := WriteShare(sharePath, sk); err != nil {
+		return err
+	}
+	return WriteGroup(groupPath, g)
+}
+
+// checkShareBinding verifies that sk is really the share belonging to
+// slot sk.Index of g — index bounds plus the cryptographic binding
+// VK_i == VerificationKeyOf(sk) — and returns the bound Member.
+func checkShareBinding(g *Group, sk *core.PrivateKeyShare) (*core.Member, error) {
+	m, err := g.Member(sk)
+	if err != nil {
+		return nil, err
+	}
+	if !core.VerificationKeyOf(g.Params, sk).Equal(g.VKs[sk.Index]) {
+		return nil, fmt.Errorf("keyfile: share %d does not match the group's verification key (torn write or mixed-up files?)", sk.Index)
+	}
+	return m, nil
+}
+
+// LoadMember loads a group file and a share file together and binds
+// them: the share's index is bounds-checked against the group (1..n) AND
+// the share must cryptographically match the group's verification key
+// VK_i, so a mismatched or torn keystore (e.g. a crash between the share
+// and group writes of a refresh) fails here, at load time, not at
+// signing time.
 func LoadMember(groupPath, sharePath string) (*core.Member, error) {
 	g, err := LoadGroup(groupPath)
 	if err != nil {
@@ -184,7 +220,7 @@ func LoadMember(groupPath, sharePath string) (*core.Member, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := g.Member(sk)
+	m, err := checkShareBinding(g, sk)
 	if err != nil {
 		return nil, fmt.Errorf("keyfile: %s does not fit %s: %w", sharePath, groupPath, err)
 	}

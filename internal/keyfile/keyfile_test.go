@@ -224,3 +224,48 @@ func TestShareIndexFieldMismatch(t *testing.T) {
 	}
 	_ = views
 }
+
+// TestLoadMemberRejectsTornKeystore pins the cryptographic share<->group
+// binding: a share file that belongs to a DIFFERENT key (the state a
+// crash between the share and group writes of a refresh leaves behind)
+// must be rejected at load time, not at signing time. WriteMember
+// enforces the same binding before writing anything.
+func TestLoadMemberRejectsTornKeystore(t *testing.T) {
+	dir, views := writeFixtureKeystore(t)
+	groupPath := filepath.Join(dir, "group.json")
+	sharePath := filepath.Join(dir, "share-1.json")
+
+	// The intact keystore loads.
+	if _, err := LoadMember(groupPath, sharePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite share 1 with the SAME index from another key run —
+	// index bounds alone cannot catch this.
+	params := core.NewParams("keyfile-test/v1")
+	otherViews, _, err := core.DistKeygen(params, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShare(sharePath, otherViews[1].Share); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMember(groupPath, sharePath); err == nil {
+		t.Fatal("LoadMember accepted a share from a different key")
+	}
+
+	// WriteMember refuses to create such a keystore in the first place.
+	g, err := core.NewGroup("keyfile-test/v1", 3, 1, views[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMember(groupPath, sharePath, g, otherViews[1].Share); err == nil {
+		t.Fatal("WriteMember accepted a mismatched share")
+	}
+	if err := WriteMember(groupPath, sharePath, g, views[1].Share); err != nil {
+		t.Fatalf("WriteMember rejected a matching share: %v", err)
+	}
+	if _, err := LoadMember(groupPath, sharePath); err != nil {
+		t.Fatalf("keystore written by WriteMember does not load: %v", err)
+	}
+}

@@ -5,14 +5,14 @@
 // modified, and private authenticated channels exist between all pairs of
 // players.
 //
-// Protocols are written as Player state machines stepped once per round.
-// Messages sent in round k are delivered at the beginning of round k+1.
-// The simulator stamps the sender identity (authentication), delivers
-// unicast messages only to their recipient (privacy), and delivers
-// broadcasts to everybody identically (consistency). Because everything is
-// in-process and deterministic, tests and benchmarks can count rounds,
-// messages and bytes exactly — the measurements Experiments E5 and E7
-// report.
+// The model itself — the Message type, the Player state-machine interface
+// and the routing rules — lives in the transport-agnostic engine package
+// (internal/engine) and is re-exported here; this package contributes the
+// in-process simulator backend, Network. Because everything is in-process
+// and deterministic, tests and benchmarks can count rounds, messages and
+// bytes exactly — the measurements Experiments E5 and E7 report. The same
+// engine drives the networked protocol sessions of repro/service, so a
+// protocol that passes the simulator behaves identically over the wire.
 //
 // Adaptive corruptions are modelled by swapping a Player for an arbitrary
 // (Byzantine) implementation between rounds and handing the adversary the
@@ -23,74 +23,37 @@ package transport
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/engine"
 )
 
 // Broadcast is the special recipient index addressing all players.
-const Broadcast = -1
+const Broadcast = engine.Broadcast
 
 // Message is a single protocol message. From is stamped by the network
 // (channels are authenticated); To is a 1-based player index or Broadcast.
-type Message struct {
-	From    int
-	To      int
-	Round   int
-	Kind    string
-	Payload []byte
-}
-
-// IsBroadcast reports whether the message was sent on the broadcast channel.
-func (m *Message) IsBroadcast() bool { return m.To == Broadcast }
+type Message = engine.Message
 
 // Player is a protocol state machine. Step is called once per round with
 // the messages delivered this round (sent during the previous round) and
 // returns the messages to send. Done reports protocol completion; a done
 // player is still stepped (it may need to observe later rounds) but the
 // run ends once every player is done.
-type Player interface {
-	// ID returns the player's 1-based index.
-	ID() int
-	// Step advances the protocol by one round.
-	Step(round int, delivered []Message) ([]Message, error)
-	// Done reports whether this player has produced its final output.
-	Done() bool
-}
+type Player = engine.Player
 
 // Stats aggregates traffic counters for a run.
-type Stats struct {
-	Rounds            int
-	BroadcastMessages int
-	UnicastMessages   int
-	BroadcastBytes    int
-	UnicastBytes      int
-	// MessagesPerRound[k] counts the logical sends issued during round k.
-	// The number of non-zero entries is the protocol's "communication
-	// round" count: the paper's round-optimality claim (one round for DKG
-	// in the optimistic case) is measured from this.
-	MessagesPerRound []int
-}
+type Stats = engine.Stats
 
-// CommunicationRounds returns the number of rounds in which at least one
-// message was sent.
-func (s Stats) CommunicationRounds() int {
-	c := 0
-	for _, m := range s.MessagesPerRound {
-		if m > 0 {
-			c++
-		}
-	}
-	return c
-}
-
-// TotalMessages returns the number of logical sends (a broadcast counts
-// once, matching how round-optimal DKG message complexity is reported).
-func (s Stats) TotalMessages() int { return s.BroadcastMessages + s.UnicastMessages }
-
-// Network is a synchronous round-based network for n players.
+// Network is a synchronous round-based network for n players: the
+// in-process simulator backend of the engine. Routing and traffic
+// accounting are delegated to engine.Mailbox — the identical code the
+// networked protocol drivers use.
 type Network struct {
 	n       int
 	players []Player
-	pending [][]Message // inbox per player (1-based, index 0 unused)
-	stats   Stats
+	mb      *engine.Mailbox
+	round   int
+	inboxes [][]Message // delivery for the upcoming round (1-based)
 }
 
 // NewNetwork creates a network for the given players. Player IDs must be
@@ -107,10 +70,15 @@ func NewNetwork(players []Player) (*Network, error) {
 			return nil, fmt.Errorf("transport: player at position %d has ID %d", i, p.ID())
 		}
 	}
+	mb, err := engine.NewMailbox(len(players))
+	if err != nil {
+		return nil, err
+	}
 	return &Network{
 		n:       len(players),
 		players: players,
-		pending: make([][]Message, len(players)+1),
+		mb:      mb,
+		inboxes: make([][]Message, len(players)+1),
 	}, nil
 }
 
@@ -118,7 +86,7 @@ func NewNetwork(players []Player) (*Network, error) {
 func (net *Network) N() int { return net.n }
 
 // Stats returns the accumulated traffic counters.
-func (net *Network) Stats() Stats { return net.stats }
+func (net *Network) Stats() Stats { return net.mb.Stats() }
 
 // Swap replaces the state machine of player id (1-based) and returns the
 // previous one. This is the hook the adaptive adversary uses: it corrupts a
@@ -142,25 +110,22 @@ func (net *Network) Player(id int) Player { return net.players[id-1] }
 // messages and collects the players' outgoing messages for the next round.
 // It returns true when every player is done.
 func (net *Network) StepRound() (bool, error) {
-	round := net.stats.Rounds
-	inboxes := net.pending
-	net.pending = make([][]Message, net.n+1)
+	round := net.round
+	inboxes := net.inboxes
 
 	for _, p := range net.players {
-		delivered := inboxes[p.ID()]
-		out, err := p.Step(round, delivered)
+		out, err := p.Step(round, inboxes[p.ID()])
 		if err != nil {
 			return false, fmt.Errorf("transport: player %d failed in round %d: %w", p.ID(), round, err)
 		}
-		for _, m := range out {
-			m.From = p.ID() // authenticated channel: sender identity is stamped
-			m.Round = round
-			if err := net.send(m); err != nil {
-				return false, err
-			}
+		// The mailbox stamps the authenticated sender identity and routes
+		// broadcasts to everybody, unicasts to their recipient only.
+		if err := net.mb.Send(p.ID(), round, out); err != nil {
+			return false, fmt.Errorf("transport: player %d: %w", p.ID(), err)
 		}
 	}
-	net.stats.Rounds++
+	net.round++
+	net.inboxes = net.mb.NextRound()
 
 	for _, p := range net.players {
 		if !p.Done() {
@@ -170,40 +135,17 @@ func (net *Network) StepRound() (bool, error) {
 	return true, nil
 }
 
-func (net *Network) send(m Message) error {
-	size := len(m.Payload) + len(m.Kind)
-	for len(net.stats.MessagesPerRound) <= m.Round {
-		net.stats.MessagesPerRound = append(net.stats.MessagesPerRound, 0)
-	}
-	net.stats.MessagesPerRound[m.Round]++
-	if m.To == Broadcast {
-		net.stats.BroadcastMessages++
-		net.stats.BroadcastBytes += size
-		for id := 1; id <= net.n; id++ {
-			net.pending[id] = append(net.pending[id], m)
-		}
-		return nil
-	}
-	if m.To < 1 || m.To > net.n {
-		return fmt.Errorf("transport: message to invalid player %d", m.To)
-	}
-	net.stats.UnicastMessages++
-	net.stats.UnicastBytes += size
-	net.pending[m.To] = append(net.pending[m.To], m)
-	return nil
-}
-
 // Run steps the network until every player is done or maxRounds elapse.
 // It returns the number of executed rounds.
 func (net *Network) Run(maxRounds int) (int, error) {
 	for r := 0; r < maxRounds; r++ {
 		done, err := net.StepRound()
 		if err != nil {
-			return net.stats.Rounds, err
+			return net.round, err
 		}
 		if done {
-			return net.stats.Rounds, nil
+			return net.round, nil
 		}
 	}
-	return net.stats.Rounds, fmt.Errorf("transport: protocol did not finish within %d rounds", maxRounds)
+	return net.round, fmt.Errorf("transport: protocol did not finish within %d rounds", maxRounds)
 }

@@ -189,6 +189,15 @@ func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
 		}
 		return
 	}
+	// Capture the group view once: a refresh that lands mid-batch must
+	// not mix old and new verification keys within one fan-out.
+	group := c.group.Load()
+	if group == nil {
+		for _, it := range items {
+			it.complete(nil, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial))
+		}
+		return
+	}
 
 	type signerResult struct {
 		index int
@@ -196,21 +205,21 @@ func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
 		errs  []error                  // errs[j] non-nil = transport failure for msgs[j] only
 		err   error                    // whole-signer failure
 	}
-	results := make(chan signerResult, c.group.N)
-	for i := 1; i <= c.group.N; i++ {
+	results := make(chan signerResult, group.N)
+	for i := 1; i <= group.N; i++ {
 		go func(i int) {
 			parts, errs, err := c.fetchPartialBatch(ctx, i, msgs, body)
 			results <- signerResult{index: i, parts: parts, errs: errs, err: err}
 		}(i)
 	}
 
-	need := c.group.T + 1
+	need := group.T + 1
 	states := make([]*msgState, len(items))
 	for j := range states {
 		states[j] = &msgState{valid: make([]*core.PartialSignature, 0, need)}
 	}
 	remaining := len(items)
-	for received := 0; received < c.group.N && remaining > 0; received++ {
+	for received := 0; received < group.N && remaining > 0; received++ {
 		var r signerResult
 		select {
 		case r = <-results:
@@ -250,17 +259,17 @@ func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
 				st.invalid = append(st.invalid, r.index)
 				continue
 			}
-			entries = append(entries, core.ShareBatchEntry{Msg: items[j].msg, VK: c.group.VKs[r.index], PS: ps})
+			entries = append(entries, core.ShareBatchEntry{Msg: items[j].msg, VK: group.VKs[r.index], PS: ps})
 			idxs = append(idxs, j)
 		}
 		if len(entries) == 0 {
 			continue
 		}
 		bad := map[int]bool{}
-		if ok, err := core.BatchShareVerify(c.group.PK, entries, nil); err != nil || !ok {
+		if ok, err := core.BatchShareVerify(group.PK, entries, nil); err != nil || !ok {
 			// The batch failed: bisection isolates exactly the bad shares,
 			// so one Byzantine answer cannot poison the signer's whole batch.
-			for _, p := range core.FindInvalidShares(c.group.PK, entries, nil) {
+			for _, p := range core.FindInvalidShares(group.PK, entries, nil) {
 				bad[p] = true
 			}
 		}
@@ -277,8 +286,8 @@ func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
 			}
 			st.done = true
 			remaining--
-			sig, err := core.CombinePreverified(st.valid, c.group.T)
-			if err == nil && !core.Verify(c.group.PK, items[j].msg, sig) {
+			sig, err := core.CombinePreverified(st.valid, group.T)
+			if err == nil && !core.Verify(group.PK, items[j].msg, sig) {
 				err = fmt.Errorf("service: combined signature failed verification")
 			}
 			if err != nil {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -34,6 +36,15 @@ type CoordinatorConfig struct {
 	// a signer that rejects the batch size is served per-message as a
 	// fallback, which works but forfeits the round-trip savings.
 	MaxBatch int
+	// ProtoRoundTimeout bounds each signer's step call during a driven
+	// protocol session (keygen, refresh); a signer that misses it is
+	// excluded as crashed for the rest of the run. Default
+	// DefaultProtoRoundTimeout.
+	ProtoRoundTimeout time.Duration
+	// PersistGroup, when set, is called with the new group after a
+	// successful keygen or refresh run, before it is installed; a failure
+	// keeps the old group (the tsigd keyfile hook).
+	PersistGroup func(*core.Group) error
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -68,13 +79,22 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 //	GET  /v1/pubkey     -> PubkeyResponse
 //	GET  /healthz       -> HealthResponse
 type Coordinator struct {
-	group  *core.Group
+	// group is swappable: a keyless coordinator starts with nil and
+	// installs the group a remote keygen produces; a refresh run swaps in
+	// the re-randomized verification keys. Signing fan-outs capture the
+	// pointer once, so one request sees one consistent view.
+	group  atomic.Pointer[core.Group]
 	urls   []string // urls[i-1] serves share i
 	cfg    CoordinatorConfig
 	cache  *sigCache
 	flight *flightGroup
 	batch  *batcher // nil unless BatchWindow > 0
 	mux    *http.ServeMux
+	// protoMu serializes whole protocol runs (RunDKG, RunRefresh): the
+	// check-then-install on group must not interleave, and concurrent
+	// runs would race the signers' session slots and the PersistGroup
+	// writes.
+	protoMu sync.Mutex
 }
 
 // SignReport is the quorum accounting for one Sign call.
@@ -97,11 +117,31 @@ type signOutcome struct {
 // NewCoordinator builds a coordinator for the group; signerURLs[i-1] must
 // be the base URL of the signer holding share i.
 func NewCoordinator(group *core.Group, signerURLs []string, cfg CoordinatorConfig) (*Coordinator, error) {
+	if group == nil {
+		return nil, fmt.Errorf("service: nil group (use NewKeylessCoordinator to start before keygen)")
+	}
 	if len(signerURLs) != group.N {
 		return nil, fmt.Errorf("service: %d signer URLs for a group of n=%d", len(signerURLs), group.N)
 	}
+	c := newCoordinator(signerURLs, cfg)
+	c.group.Store(group)
+	return c, nil
+}
+
+// NewKeylessCoordinator builds a coordinator that holds no group yet: it
+// can drive a distributed keygen across its signers (RunDKG, or POST
+// /v1/proto/dkg/run) and starts serving signatures the moment the keygen
+// completes. Until then, signing requests are refused with
+// ErrNoKeyMaterial.
+func NewKeylessCoordinator(signerURLs []string, cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(signerURLs) < 3 {
+		return nil, fmt.Errorf("service: %d signer URLs, need at least 3 (n >= 2t+1, t >= 1)", len(signerURLs))
+	}
+	return newCoordinator(signerURLs, cfg), nil
+}
+
+func newCoordinator(signerURLs []string, cfg CoordinatorConfig) *Coordinator {
 	c := &Coordinator{
-		group:  group,
 		urls:   signerURLs,
 		cfg:    cfg.withDefaults(),
 		flight: newFlightGroup(),
@@ -115,17 +155,22 @@ func NewCoordinator(group *core.Group, signerURLs []string, cfg CoordinatorConfi
 	c.mux.HandleFunc("POST /v1/sign-batch", c.handleSignBatch)
 	c.mux.HandleFunc("GET /v1/pubkey", c.handlePubkey)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.mux.HandleFunc("POST /v1/proto/dkg/run", c.handleProtoRun(ProtoDKG))
+	c.mux.HandleFunc("POST /v1/proto/refresh/run", c.handleProtoRun(ProtoRefresh))
 	// Any other method on a known path is answered 405 + Allow with a
 	// JSON body, not the mux's plain-text default.
 	c.mux.HandleFunc("/v1/sign", methodNotAllowed(http.MethodPost))
 	c.mux.HandleFunc("/v1/sign-batch", methodNotAllowed(http.MethodPost))
 	c.mux.HandleFunc("/v1/pubkey", methodNotAllowed(http.MethodGet))
 	c.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
-	return c, nil
+	c.mux.HandleFunc("/v1/proto/dkg/run", methodNotAllowed(http.MethodPost))
+	c.mux.HandleFunc("/v1/proto/refresh/run", methodNotAllowed(http.MethodPost))
+	return c
 }
 
-// Group returns the coordinator's public group description.
-func (c *Coordinator) Group() *core.Group { return c.group }
+// Group returns the coordinator's public group description — nil until
+// key material exists (keyless coordinators before their first keygen).
+func (c *Coordinator) Group() *core.Group { return c.group.Load() }
 
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
 
@@ -136,6 +181,9 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.
 func (c *Coordinator) Sign(ctx context.Context, msg []byte) (*core.Signature, SignReport, error) {
 	if len(msg) == 0 {
 		return nil, SignReport{}, ErrEmptyMessage
+	}
+	if c.group.Load() == nil {
+		return nil, SignReport{}, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial)
 	}
 	key := cacheKey(sha256.Sum256(msg))
 	for {
@@ -176,11 +224,16 @@ func (c *Coordinator) Sign(ctx context.Context, msg []byte) (*core.Signature, Si
 }
 
 // fanOut queries all n signers concurrently and combines the first t+1
-// valid shares.
+// valid shares. The group view is captured once, so a concurrent refresh
+// cannot hand one request a mix of old and new verification keys.
 func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	group := c.group.Load()
+	if group == nil {
+		return nil, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial)
+	}
 	body, err := json.Marshal(SignRequest{Message: msg})
 	if err != nil {
 		return nil, err
@@ -190,18 +243,18 @@ func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, err
 		ps    *core.PartialSignature
 		err   error
 	}
-	results := make(chan partialResult, c.group.N)
-	for i := 1; i <= c.group.N; i++ {
+	results := make(chan partialResult, group.N)
+	for i := 1; i <= group.N; i++ {
 		go func(i int) {
 			ps, err := c.fetchPartial(ctx, i, body)
 			results <- partialResult{index: i, ps: ps, err: err}
 		}(i)
 	}
 
-	need := c.group.T + 1
+	need := group.T + 1
 	valid := make([]*core.PartialSignature, 0, need)
 	out := &signOutcome{}
-	for received := 0; received < c.group.N; received++ {
+	for received := 0; received < group.N; received++ {
 		var r partialResult
 		select {
 		case r = <-results:
@@ -211,7 +264,7 @@ func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, err
 		switch {
 		case r.err != nil:
 			out.unreachable = append(out.unreachable, r.index)
-		case r.ps.Index != r.index || !core.ShareVerify(c.group.PK, c.group.VKs[r.index], msg, r.ps):
+		case r.ps.Index != r.index || !core.ShareVerify(group.PK, group.VKs[r.index], msg, r.ps):
 			// Wrong index (share replay) or failed pairing check: the
 			// signer is Byzantine. Robustness means we just drop it.
 			out.invalid = append(out.invalid, r.index)
@@ -220,7 +273,7 @@ func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, err
 			out.signers = append(out.signers, r.index)
 			if len(valid) == need {
 				cancel() // release the laggards
-				sig, err := core.CombinePreverified(valid, c.group.T)
+				sig, err := core.CombinePreverified(valid, group.T)
 				if err != nil {
 					return nil, err
 				}
@@ -228,7 +281,7 @@ func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, err
 				// fail for an honest group — it is a final safety net
 				// before a signature leaves the service or enters the
 				// cache.
-				if !core.Verify(c.group.PK, msg, sig) {
+				if !core.Verify(group.PK, msg, sig) {
 					return nil, fmt.Errorf("service: combined signature failed verification")
 				}
 				out.sig = sig
@@ -300,6 +353,9 @@ func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResu
 	}
 	if len(msgs) > c.cfg.MaxBatch {
 		return nil, fmt.Errorf("service: batch of %d messages exceeds limit %d: %w", len(msgs), c.cfg.MaxBatch, ErrBatchTooLarge)
+	}
+	if c.group.Load() == nil {
+		return nil, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial)
 	}
 	// Each distinct cache-missing message either becomes a flight leader
 	// (it.item != nil) and rides this call's fan-out, or coalesces as a
@@ -457,6 +513,10 @@ func signErrorStatus(r *http.Request, err error) int {
 	switch {
 	case errors.Is(err, ErrEmptyMessage), errors.Is(err, ErrBatchTooLarge):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrNoKeyMaterial):
+		// Not-ready, not broken backends: matches the 503 every other
+		// keyless endpoint answers.
+		return http.StatusServiceUnavailable
 	case r.Context().Err() != nil:
 		return http.StatusServiceUnavailable
 	default:
@@ -483,8 +543,13 @@ func writeSignError(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 func (c *Coordinator) handlePubkey(w http.ResponseWriter, _ *http.Request) {
+	group := c.group.Load()
+	if group == nil {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeNoKey, "coordinator holds no group yet (run the distributed keygen)")
+		return
+	}
 	writeJSON(w, http.StatusOK, PubkeyResponse{
-		Domain: c.group.Domain, N: c.group.N, T: c.group.T, PK: c.group.PK.Marshal(),
+		Domain: group.Domain, N: group.N, T: group.T, PK: group.PK.Marshal(),
 	})
 }
 

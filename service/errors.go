@@ -30,6 +30,31 @@ var (
 	// ErrBatchTooLarge rejects batch requests with more messages than the
 	// configured MaxBatch.
 	ErrBatchTooLarge = core.ErrBatchTooLarge
+
+	// ErrNoKeyMaterial marks an operation that needs key material a
+	// keyless daemon does not hold yet (sign before keygen, refresh
+	// before keygen, pubkey of an empty coordinator).
+	ErrNoKeyMaterial = core.ErrNoKeyMaterial
+
+	// ErrProtocolFailed marks a distributed keygen or refresh session
+	// that could not complete.
+	ErrProtocolFailed = core.ErrProtocolFailed
+)
+
+// Protocol-session sentinels of the service layer itself: they concern
+// the HTTP session machinery rather than the scheme, so they live here
+// and are carried across the wire by their codes.
+var (
+	// ErrSessionNotFound: a step or finish request named a protocol
+	// session this daemon does not host (expired, finished, or never
+	// started).
+	ErrSessionNotFound = errors.New("service: protocol session not found")
+
+	// ErrConflict: a request contradicts the daemon's state — starting a
+	// keygen on a signer that already holds key material, stepping a
+	// session out of round order, or re-running keygen on a keyed
+	// coordinator.
+	ErrConflict = errors.New("service: conflicting request")
 )
 
 // Machine-readable error codes carried in ErrorResponse.Code. They are
@@ -45,6 +70,10 @@ const (
 	CodeCanceled         = "canceled"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeBackend          = "backend_failure"
+	CodeNoKey            = "no_key_material"
+	CodeProtoFailed      = "protocol_failed"
+	CodeSessionNotFound  = "session_not_found"
+	CodeConflict         = "conflict"
 	// CodeQuorumInvalidShares is CodeQuorum with Byzantine evidence: the
 	// fan-out fell below t+1 valid shares AND at least one signer
 	// answered with an invalid share.
@@ -88,6 +117,14 @@ func errorCode(err error) string {
 		return CodeQuorumInvalidShares
 	case errors.Is(err, ErrQuorumUnreachable):
 		return CodeQuorum
+	case errors.Is(err, ErrNoKeyMaterial):
+		return CodeNoKey
+	case errors.Is(err, ErrSessionNotFound):
+		return CodeSessionNotFound
+	case errors.Is(err, ErrConflict):
+		return CodeConflict
+	case errors.Is(err, ErrProtocolFailed):
+		return CodeProtoFailed
 	default:
 		return ""
 	}

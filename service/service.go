@@ -29,6 +29,14 @@ package service
 // outgrow what the signers accept.
 const maxRequestBytes = 1 << 20
 
+// maxProtoRequestBytes caps protocol-session bodies (and the responses
+// the driver reads back). Unlike signing requests, a session step's size
+// is set by the protocol itself and grows O(n·t) group elements — round 1
+// delivers all n broadcast deals of (t+1) commitments each — so the flat
+// signing cap would silently brick large quorums: 64 MiB covers n in the
+// hundreds with JSON/base64 overhead.
+const maxProtoRequestBytes = 64 << 20
+
 // DefaultMaxBatch is the default per-request message limit for the
 // sign-batch endpoints on both signer and coordinator.
 const DefaultMaxBatch = 64

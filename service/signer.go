@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -35,6 +36,13 @@ func (c SignerConfig) withDefaults() SignerConfig {
 	return c
 }
 
+// signerState is the signer's key material, swapped atomically as one
+// unit: the group view and the private share always match.
+type signerState struct {
+	group *core.Group
+	share *core.PrivateKeyShare
+}
+
 // Signer serves one private key share over HTTP. It is an http.Handler:
 //
 //	POST /v1/sign       {"message": base64} -> PartialResponse
@@ -42,15 +50,27 @@ func (c SignerConfig) withDefaults() SignerConfig {
 //	GET  /v1/pubkey     -> PubkeyResponse
 //	GET  /v1/vk         -> VKResponse (this signer's own key)
 //	GET  /healthz       -> HealthResponse
+//	POST /v1/proto/{dkg|refresh}/{start|step|finish} -> protocol sessions
 //
 // Share-Sign is deterministic and needs no peer interaction, so the
 // Signer keeps no per-request state and any number of replicas of the
 // same share behave identically.
+//
+// The key material is not necessarily fixed at construction: a signer
+// built with NewDaemonSigner may start with none at all and acquire it by
+// participating in a distributed keygen session, and a proactive refresh
+// session swaps in the re-randomized share. Key-dependent endpoints
+// answer 503/no_key_material until material exists.
 type Signer struct {
-	group *core.Group
-	share *core.PrivateKeyShare
+	index int // the daemon's fixed 1-based player identity
+	state atomic.Pointer[signerState]
 	cfg   SignerConfig
 
+	// persist, when set, writes new key material through before it is
+	// installed (the tsigd keyfile hook).
+	persist func(*core.Group, *core.PrivateKeyShare) error
+
+	proto    *protoHost
 	workers  chan struct{} // semaphore: MaxWorkers slots
 	inflight atomic.Int64  // requests holding or waiting for a slot
 	mux      *http.ServeMux
@@ -58,13 +78,57 @@ type Signer struct {
 
 // NewSigner builds a signer for one share of the given group.
 func NewSigner(group *core.Group, share *core.PrivateKeyShare, cfg SignerConfig) (*Signer, error) {
-	if share.Index < 1 || share.Index > group.N {
-		return nil, fmt.Errorf("service: share index %d outside group 1..%d", share.Index, group.N)
+	return NewDaemonSigner(DaemonConfig{Signer: cfg, Group: group, Share: share})
+}
+
+// DaemonConfig configures a signer daemon, including the keyless form
+// that waits for a distributed keygen.
+type DaemonConfig struct {
+	// Signer bounds the signing worker pool.
+	Signer SignerConfig
+	// Index is the daemon's 1-based player identity. Required when no key
+	// material is given; otherwise it must be absent or match the share.
+	Index int
+	// Group and Share are the initial key material; both nil for a
+	// keyless daemon.
+	Group *core.Group
+	Share *core.PrivateKeyShare
+	// Persist, when set, is called with new key material (after keygen or
+	// refresh) before it is installed; a failure keeps the old state.
+	Persist func(*core.Group, *core.PrivateKeyShare) error
+	// SessionTTL bounds how long an untouched protocol session survives
+	// (default DefaultSessionTTL).
+	SessionTTL time.Duration
+}
+
+// NewDaemonSigner builds a signer daemon from the full configuration.
+func NewDaemonSigner(cfg DaemonConfig) (*Signer, error) {
+	index := cfg.Index
+	if cfg.Group != nil || cfg.Share != nil {
+		if cfg.Group == nil || cfg.Share == nil {
+			return nil, fmt.Errorf("service: group and share must be given together")
+		}
+		if cfg.Share.Index < 1 || cfg.Share.Index > cfg.Group.N {
+			return nil, fmt.Errorf("service: share index %d outside group 1..%d", cfg.Share.Index, cfg.Group.N)
+		}
+		if index == 0 {
+			index = cfg.Share.Index
+		}
+		if index != cfg.Share.Index {
+			return nil, fmt.Errorf("service: daemon index %d contradicts share index %d", index, cfg.Share.Index)
+		}
+	}
+	if index < 1 {
+		return nil, fmt.Errorf("service: a keyless daemon needs a positive player index")
 	}
 	s := &Signer{
-		group: group,
-		share: share,
-		cfg:   cfg.withDefaults(),
+		index:   index,
+		cfg:     cfg.Signer.withDefaults(),
+		persist: cfg.Persist,
+		proto:   newProtoHost(cfg.SessionTTL),
+	}
+	if cfg.Group != nil {
+		s.state.Store(&signerState{group: cfg.Group, share: cfg.Share})
 	}
 	s.workers = make(chan struct{}, s.cfg.MaxWorkers)
 	s.mux = http.NewServeMux()
@@ -73,6 +137,11 @@ func NewSigner(group *core.Group, share *core.PrivateKeyShare, cfg SignerConfig)
 	s.mux.HandleFunc("GET /v1/pubkey", s.handlePubkey)
 	s.mux.HandleFunc("GET /v1/vk", s.handleVK)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for _, proto := range []string{ProtoDKG, ProtoRefresh} {
+		s.mux.HandleFunc("POST /v1/proto/"+proto+"/start", s.handleProtoStart(proto))
+		s.mux.HandleFunc("POST /v1/proto/"+proto+"/step", s.handleProtoStep(proto))
+		s.mux.HandleFunc("POST /v1/proto/"+proto+"/finish", s.handleProtoFinish(proto))
+	}
 	// Any other method on a known path is answered 405 + Allow with a
 	// JSON body, not the mux's plain-text default.
 	s.mux.HandleFunc("/v1/sign", methodNotAllowed(http.MethodPost))
@@ -80,11 +149,37 @@ func NewSigner(group *core.Group, share *core.PrivateKeyShare, cfg SignerConfig)
 	s.mux.HandleFunc("/v1/pubkey", methodNotAllowed(http.MethodGet))
 	s.mux.HandleFunc("/v1/vk", methodNotAllowed(http.MethodGet))
 	s.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
+	for _, proto := range []string{ProtoDKG, ProtoRefresh} {
+		for _, ep := range []string{"start", "step", "finish"} {
+			s.mux.HandleFunc("/v1/proto/"+proto+"/"+ep, methodNotAllowed(http.MethodPost))
+		}
+	}
 	return s, nil
 }
 
 // Index returns the signer's 1-based server index.
-func (s *Signer) Index() int { return s.share.Index }
+func (s *Signer) Index() int { return s.index }
+
+// Group returns the signer's current group view — nil until key material
+// exists.
+func (s *Signer) Group() *core.Group {
+	if st := s.state.Load(); st != nil {
+		return st.group
+	}
+	return nil
+}
+
+// keyed loads the signer's key material, answering 503/no_key_material
+// when there is none yet.
+func (s *Signer) keyed(w http.ResponseWriter) (*signerState, bool) {
+	st := s.state.Load()
+	if st == nil {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeNoKey,
+			"signer holds no key material yet (run the distributed keygen)")
+		return nil, false
+	}
+	return st, true
+}
 
 func (s *Signer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -101,13 +196,17 @@ func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "missing message")
 		return
 	}
+	st, ok := s.keyed(w)
+	if !ok {
+		return
+	}
 	release, ok := s.acquireWorker(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 
-	ps, err := core.ShareSign(s.group.Params, s.share, req.Message)
+	ps, err := core.ShareSign(st.group.Params, st.share, req.Message)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -145,6 +244,10 @@ func (s *Signer) handleSignBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	st, ok := s.keyed(w)
+	if !ok {
+		return
+	}
 	release, ok := s.acquireWorker(w, r)
 	if !ok {
 		return
@@ -175,7 +278,7 @@ grab:
 			if j >= len(req.Messages) || r.Context().Err() != nil {
 				return
 			}
-			ps, err := core.ShareSign(s.group.Params, s.share, req.Messages[j])
+			ps, err := core.ShareSign(st.group.Params, st.share, req.Messages[j])
 			if err != nil {
 				mu.Lock()
 				if signErr == nil {
@@ -206,7 +309,7 @@ grab:
 		writeError(w, http.StatusInternalServerError, signErr.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, PartialBatchResponse{Index: s.share.Index, Partials: partials})
+	writeJSON(w, http.StatusOK, PartialBatchResponse{Index: s.index, Partials: partials})
 }
 
 // acquireWorker runs admission control: it sheds the request with 503
@@ -234,21 +337,38 @@ func (s *Signer) acquireWorker(w http.ResponseWriter, r *http.Request) (release 
 }
 
 func (s *Signer) handlePubkey(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.keyed(w)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, PubkeyResponse{
-		Domain: s.group.Domain, N: s.group.N, T: s.group.T, PK: s.group.PK.Marshal(),
+		Domain: st.group.Domain, N: st.group.N, T: st.group.T, PK: st.group.PK.Marshal(),
 	})
 }
 
 func (s *Signer) handleVK(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.keyed(w)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, VKResponse{
-		Index: s.share.Index, VK: s.group.VKs[s.share.Index].Marshal(),
+		Index: s.index, VK: st.group.VKs[s.index].Marshal(),
 	})
 }
 
 func (s *Signer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok", Index: s.share.Index, Inflight: int(s.inflight.Load()),
+		Status: "ok", Index: s.index, Inflight: int(s.inflight.Load()),
 	})
+}
+
+// decodeJSON decodes a request body, wrapping decode failures in the
+// message the handlers answer 400 with.
+func decodeJSON(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("malformed request: %v", err)
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -11,24 +11,13 @@ import (
 	"repro/internal/core"
 )
 
-// Client talks to a coordinator (or, for FetchPubkey, any signer — both
-// serve /v1/pubkey with the same schema).
-//
-// Deprecated: use the repro/client package, which adds a pluggable
-// Transport and typed error mapping. This shim remains for one release.
+// Client is a minimal test-only HTTP client for the gateway endpoints.
+// (The production client lives in repro/client, which this package cannot
+// import without a cycle; the former service.Client shim was removed.)
 type Client struct {
 	BaseURL string
-	HTTP    *http.Client // nil means http.DefaultClient
 }
 
-func (c *Client) httpClient() *http.Client {
-	if c.HTTP == nil {
-		return http.DefaultClient
-	}
-	return c.HTTP
-}
-
-// Sign requests a full threshold signature on msg from the coordinator.
 func (c *Client) Sign(ctx context.Context, msg []byte) (*core.Signature, *SignatureResponse, error) {
 	body, err := json.Marshal(SignRequest{Message: msg})
 	if err != nil {
@@ -40,16 +29,11 @@ func (c *Client) Sign(ctx context.Context, msg []byte) (*core.Signature, *Signat
 	}
 	sig := new(core.Signature)
 	if err := sig.Unmarshal(sr.Signature); err != nil {
-		return nil, nil, fmt.Errorf("service: coordinator returned malformed signature: %w", err)
+		return nil, nil, fmt.Errorf("test client: malformed signature: %w", err)
 	}
 	return sig, &sr, nil
 }
 
-// SignBatch requests threshold signatures for every message in one
-// round-trip to the coordinator's /v1/sign-batch endpoint. sigs[j] is
-// the signature for msgs[j], or nil when that message failed — the
-// per-message error strings are in the returned response. The error is
-// non-nil only for transport- or request-level failures.
 func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*core.Signature, *SignBatchResponse, error) {
 	body, err := json.Marshal(SignBatchRequest{Messages: msgs})
 	if err != nil {
@@ -60,7 +44,7 @@ func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*core.Signatur
 		return nil, nil, err
 	}
 	if len(br.Results) != len(msgs) {
-		return nil, nil, fmt.Errorf("service: coordinator answered %d results for %d messages", len(br.Results), len(msgs))
+		return nil, nil, fmt.Errorf("test client: %d results for %d messages", len(br.Results), len(msgs))
 	}
 	sigs := make([]*core.Signature, len(msgs))
 	for j, res := range br.Results {
@@ -69,16 +53,13 @@ func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*core.Signatur
 		}
 		sig := new(core.Signature)
 		if err := sig.Unmarshal(res.Signature); err != nil {
-			return nil, nil, fmt.Errorf("service: coordinator returned malformed signature for message %d: %w", j, err)
+			return nil, nil, fmt.Errorf("test client: malformed signature for message %d: %w", j, err)
 		}
 		sigs[j] = sig
 	}
 	return sigs, &br, nil
 }
 
-// FetchPubkey retrieves the group description and reconstructs the
-// public key (parameters are rebuilt from the domain label, exactly as
-// every server derives them).
 func (c *Client) FetchPubkey(ctx context.Context) (*core.PublicKey, *PubkeyResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/pubkey", nil)
 	if err != nil {
@@ -90,7 +71,7 @@ func (c *Client) FetchPubkey(ctx context.Context) (*core.PublicKey, *PubkeyRespo
 	}
 	pk, err := core.UnmarshalPublicKey(core.NewParams(pr.Domain), pr.PK)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: malformed public key from %s: %w", c.BaseURL, err)
+		return nil, nil, fmt.Errorf("test client: malformed public key: %w", err)
 	}
 	return pk, &pr, nil
 }
@@ -105,7 +86,7 @@ func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any
 }
 
 func (c *Client) doJSON(req *http.Request, out any) error {
-	resp, err := c.httpClient().Do(req)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -117,9 +98,9 @@ func (c *Client) doJSON(req *http.Request, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		var er ErrorResponse
 		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
-			return fmt.Errorf("service: %s: %s (status %d)", req.URL.Path, er.Error, resp.StatusCode)
+			return fmt.Errorf("test client: %s: %s (status %d)", req.URL.Path, er.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("service: %s: status %d: %s", req.URL.Path, resp.StatusCode, bytes.TrimSpace(raw))
+		return fmt.Errorf("test client: %s: status %d: %s", req.URL.Path, resp.StatusCode, bytes.TrimSpace(raw))
 	}
 	return json.Unmarshal(raw, out)
 }

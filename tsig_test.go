@@ -5,63 +5,11 @@ import (
 	"testing"
 )
 
-// TestFacadeEndToEnd exercises the public API exactly as the package doc
-// comment advertises it; the underlying machinery has its own suites in
-// the internal packages.
-func TestFacadeEndToEnd(t *testing.T) {
-	params := NewParams("facade-test/v1")
-	views, outcome, err := DistKeygen(params, 3, 1)
-	if err != nil {
-		t.Fatalf("DistKeygen: %v", err)
-	}
-	if outcome.Stats.CommunicationRounds() != 1 {
-		t.Fatalf("optimistic DKG took %d rounds", outcome.Stats.CommunicationRounds())
-	}
-	msg := []byte("facade message")
-	ps1, err := ShareSign(params, views[1].Share, msg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ps3, err := ShareSign(params, views[3].Share, msg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !ShareVerify(views[1].PK, views[1].VKs[1], msg, ps1) {
-		t.Fatal("ShareVerify rejected a valid partial")
-	}
-	sig, err := Combine(views[1].PK, views[1].VKs, msg, []*PartialSignature{ps1, ps3}, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !Verify(views[1].PK, msg, sig) {
-		t.Fatal("Verify rejected the combined signature")
-	}
-
-	// Refresh through the facade.
-	out, err := RunRefresh(params, 3, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nv, err := ApplyRefresh(views[1], out.Results[1])
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !nv.PK.Equal(views[1].PK) {
-		t.Fatal("refresh changed the public key")
-	}
-
-	// Distributed session through the facade.
-	res, err := DistributedSign(views, 1, []int{2, 3}, nil, msg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !Verify(views[1].PK, msg, res.Signature) {
-		t.Fatal("session signature invalid")
-	}
-}
-
-// TestObjectModelEndToEnd exercises the v1 Scheme/Group/Member API: the
-// deprecated free functions above and this model must agree.
+// TestObjectModelEndToEnd exercises the v1 Scheme/Group/Member API
+// exactly as the package doc comment advertises it; the underlying
+// machinery has its own suites in the internal packages. (The pre-v1
+// free-function facade was removed after its one-release deprecation
+// window; see the README migration guide.)
 func TestObjectModelEndToEnd(t *testing.T) {
 	scheme := NewScheme(WithDomain("facade-model/v1"))
 	if scheme.Domain() != "facade-model/v1" {
