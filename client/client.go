@@ -43,11 +43,38 @@ const maxResponseBytes = 1 << 20
 // Client talks to a coordinator (or, for FetchPubkey/FetchVK/Health, any
 // signer — they serve the same schema). The zero value with a BaseURL is
 // ready to use.
+//
+// A multi-tenant deployment scopes requests to one tenant group with
+// ForGroup; the zero GroupID speaks the legacy un-namespaced routes,
+// which the service aliases to its "default" group.
 type Client struct {
 	// BaseURL is the server's base URL, without a trailing slash.
 	BaseURL string
+	// GroupID scopes signing and protocol requests to one tenant group
+	// via the /v1/g/{GroupID}/... routes. Empty means the legacy /v1/...
+	// routes (the service's default group). Set it with ForGroup.
+	GroupID string
 	// Transport issues the requests; nil means http.DefaultClient.
 	Transport Transport
+}
+
+// ForGroup returns a copy of the client scoped to one tenant group: all
+// per-group calls (Sign, SignBatch, FetchPubkey, FetchVK, RunDKG,
+// Rotate, RunRefresh) go to that group's namespaced routes. Fleet-wide
+// calls (Health, Ready, ListGroups, DeleteGroup) are unaffected.
+func (c *Client) ForGroup(id string) *Client {
+	cp := *c
+	cp.GroupID = id
+	return &cp
+}
+
+// path builds a group-scoped request path: "/v1" + p for the legacy
+// default, "/v1/g/{gid}" + p when the client is scoped to a group.
+func (c *Client) path(p string) string {
+	if c.GroupID == "" {
+		return "/v1" + p
+	}
+	return "/v1/g/" + c.GroupID + p
 }
 
 func (c *Client) transport() Transport {
@@ -98,6 +125,10 @@ func (e *APIError) Unwrap() []error {
 		return []error{service.ErrSessionNotFound}
 	case service.CodeConflict:
 		return []error{service.ErrConflict}
+	case service.CodeUnknownGroup:
+		return []error{service.ErrUnknownGroup}
+	case service.CodeGroupDeleted:
+		return []error{service.ErrGroupDeleted}
 	default:
 		return nil
 	}
@@ -112,7 +143,7 @@ func (c *Client) Sign(ctx context.Context, msg []byte) (*tsig.Signature, *servic
 		return nil, nil, err
 	}
 	var sr service.SignatureResponse
-	if err := c.postJSON(ctx, "/v1/sign", body, &sr); err != nil {
+	if err := c.postJSON(ctx, c.path("/sign"), body, &sr); err != nil {
 		return nil, nil, err
 	}
 	sig, err := tsig.UnmarshalSignature(sr.Signature)
@@ -133,7 +164,7 @@ func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*tsig.Signatur
 		return nil, nil, err
 	}
 	var br service.SignBatchResponse
-	if err := c.postJSON(ctx, "/v1/sign-batch", body, &br); err != nil {
+	if err := c.postJSON(ctx, c.path("/sign-batch"), body, &br); err != nil {
 		return nil, nil, err
 	}
 	if len(br.Results) != len(msgs) {
@@ -165,8 +196,20 @@ func (c *Client) SignBatch(ctx context.Context, msgs [][]byte) ([]*tsig.Signatur
 // failures cross the wire: errors.Is(err, tsig.ErrProtocolFailed) when
 // too many signers crashed or the survivors disagreed, and
 // service.ErrConflict when the quorum already holds key material.
+// When the client is scoped to an unknown group ID (ForGroup), the run
+// MINTS the tenant: the fleet registers the ID and generates its key
+// material on the spot — keygen as a service.
 func (c *Client) RunDKG(ctx context.Context, t int, domain string) (*tsig.Group, *service.ProtoRunResponse, error) {
-	return c.runProto(ctx, "/v1/proto/dkg/run", service.ProtoRunRequest{T: t, Domain: domain})
+	return c.runProto(ctx, c.path("/proto/dkg/run"), service.ProtoRunRequest{T: t, Domain: domain})
+}
+
+// Rotate asks the coordinator to REPLACE the group's key material with a
+// freshly generated one (a full DKG under a bumped epoch). Unlike
+// RunRefresh, rotation changes the threshold public key: signatures
+// issued before the rotation stay valid under the old key, but the
+// service only produces signatures under the new one from here on.
+func (c *Client) Rotate(ctx context.Context, t int, domain string) (*tsig.Group, *service.ProtoRunResponse, error) {
+	return c.runProto(ctx, c.path("/proto/dkg/run"), service.ProtoRunRequest{T: t, Domain: domain, Rotate: true})
 }
 
 // RunRefresh asks the coordinator to drive one proactive refresh epoch
@@ -177,7 +220,7 @@ func (c *Client) RunDKG(ctx context.Context, t int, domain string) (*tsig.Group,
 // response's Crashed field kept their old (now stale) shares and need
 // share recovery before they can sign again.
 func (c *Client) RunRefresh(ctx context.Context) (*tsig.Group, *service.ProtoRunResponse, error) {
-	return c.runProto(ctx, "/v1/proto/refresh/run", service.ProtoRunRequest{})
+	return c.runProto(ctx, c.path("/proto/refresh/run"), service.ProtoRunRequest{})
 }
 
 func (c *Client) runProto(ctx context.Context, path string, req service.ProtoRunRequest) (*tsig.Group, *service.ProtoRunResponse, error) {
@@ -203,7 +246,7 @@ func (c *Client) runProto(ctx context.Context, path string, req service.ProtoRun
 // locally trusted Group when one is available.
 func (c *Client) FetchPubkey(ctx context.Context) (*tsig.PublicKey, *service.PubkeyResponse, error) {
 	var pr service.PubkeyResponse
-	if err := c.getJSON(ctx, "/v1/pubkey", &pr); err != nil {
+	if err := c.getJSON(ctx, c.path("/pubkey"), &pr); err != nil {
 		return nil, nil, err
 	}
 	params := tsig.NewScheme(tsig.WithDomain(pr.Domain)).Params()
@@ -218,7 +261,7 @@ func (c *Client) FetchPubkey(ctx context.Context) (*tsig.PublicKey, *service.Pub
 // only; the coordinator does not serve /v1/vk).
 func (c *Client) FetchVK(ctx context.Context) (*tsig.VerificationKey, *service.VKResponse, error) {
 	var vr service.VKResponse
-	if err := c.getJSON(ctx, "/v1/vk", &vr); err != nil {
+	if err := c.getJSON(ctx, c.path("/vk"), &vr); err != nil {
 		return nil, nil, err
 	}
 	vk, err := tsig.UnmarshalVerificationKey(vr.VK)
@@ -228,13 +271,70 @@ func (c *Client) FetchVK(ctx context.Context) (*tsig.VerificationKey, *service.V
 	return vk, &vr, nil
 }
 
-// Health probes /healthz.
+// Health probes /healthz. Health is liveness only: a keyless daemon is
+// healthy (it can still run a keygen); readiness to SIGN is Ready.
 func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
 	var hr service.HealthResponse
 	if err := c.getJSON(ctx, "/healthz", &hr); err != nil {
 		return nil, err
 	}
 	return &hr, nil
+}
+
+// Ready probes /readyz: whether the server can sign for at least one
+// group, with the per-group key state. Unlike the other calls, a 503
+// (unready) answer is NOT an error — it still carries the per-group
+// breakdown; inspect Status. The error is non-nil only for transport
+// failures or non-readiness statuses.
+func (c *Client) Ready(ctx context.Context) (*service.ReadyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.transport().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	var rr service.ReadyResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable {
+		if err := json.Unmarshal(raw, &rr); err == nil && rr.Status != "" {
+			return &rr, nil
+		}
+	}
+	return nil, &APIError{Path: "/readyz", Status: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
+}
+
+// ListGroups enumerates the tenant groups the server knows, including
+// tombstoned (deleted) IDs.
+func (c *Client) ListGroups(ctx context.Context) ([]service.GroupInfo, error) {
+	var gr service.GroupsResponse
+	if err := c.getJSON(ctx, "/v1/groups", &gr); err != nil {
+		return nil, err
+	}
+	return gr.Groups, nil
+}
+
+// DeleteGroup tombstones a tenant group on the coordinator and fans the
+// deletion out to the signers. The ID is retired permanently — it can
+// never be re-registered, so a stray cached signature can never be
+// confused with a fresh one. The returned slice lists signer indexes
+// the deletion did not reach (down or erroring); re-issue the call once
+// they are back — deletion is idempotent.
+func (c *Client) DeleteGroup(ctx context.Context, id string) ([]int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/g/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var dr service.GroupDeleteResponse
+	if err := c.doJSON(req, &dr); err != nil {
+		return nil, err
+	}
+	return dr.Unreachable, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {

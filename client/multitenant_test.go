@@ -1,0 +1,113 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	tsig "repro"
+	"repro/service"
+)
+
+// TestE2E_ClientMultiTenant drives the tenant lifecycle through the
+// public client: mint a named group on a keyless fleet with ForGroup +
+// RunDKG, sign under it, watch readiness flip, rotate its key, and
+// finally tombstone it — with typed errors for unknown and deleted IDs.
+func TestE2E_ClientMultiTenant(t *testing.T) {
+	baseURL := startKeylessService(t, 3)
+	c := &Client{BaseURL: baseURL}
+	ctx := context.Background()
+
+	// Nothing is keyed yet: the fleet is alive but not ready.
+	if hr, err := c.Health(ctx); err != nil || hr.Status != "ok" {
+		t.Fatalf("health = %+v, %v", hr, err)
+	}
+	if rr, err := c.Ready(ctx); err != nil || rr.Status != "unready" {
+		t.Fatalf("pre-keygen ready = %+v, %v", rr, err)
+	}
+	// An unknown tenant is a typed error across the wire.
+	if _, _, err := c.ForGroup("alpha").Sign(ctx, []byte("x")); !errors.Is(err, service.ErrUnknownGroup) {
+		t.Fatalf("unknown tenant sign err = %v, want ErrUnknownGroup", err)
+	}
+
+	// Mint the tenant: ForGroup scopes the DKG to a fresh ID, which the
+	// fleet registers and keys on the spot.
+	alpha := c.ForGroup("alpha")
+	group, _, err := alpha.RunDKG(ctx, 1, "client-mt/alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("scoped signing")
+	sig, _, err := alpha.Sign(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !group.Verify(msg, sig) {
+		t.Fatal("signature does not verify under the tenant's key")
+	}
+	// The tenant's advertised pubkey matches the DKG outcome.
+	pk, _, err := alpha.FetchPubkey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk.Verify(msg, sig) {
+		t.Fatal("advertised tenant pubkey does not match")
+	}
+	// The DEFAULT group is still keyless — tenancy is isolation.
+	if _, _, err := c.Sign(ctx, msg); !errors.Is(err, tsig.ErrNoKeyMaterial) {
+		t.Fatalf("default sign err = %v, want ErrNoKeyMaterial", err)
+	}
+
+	// Readiness now reports the keyed tenant.
+	rr, err := c.Ready(ctx)
+	if err != nil || rr.Status != "ready" {
+		t.Fatalf("post-keygen ready = %+v, %v", rr, err)
+	}
+	groups, err := c.ListGroups(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundAlpha := false
+	for _, g := range groups {
+		if g.ID == "alpha" {
+			foundAlpha = true
+			if !g.Ready || g.Epoch != 1 || g.Domain != "client-mt/alpha" {
+				t.Fatalf("alpha listing = %+v", g)
+			}
+		}
+	}
+	if !foundAlpha {
+		t.Fatalf("alpha missing from ListGroups: %+v", groups)
+	}
+
+	// Rotation replaces the key (epoch bump + fresh DKG).
+	rotated, _, err := alpha.Rotate(ctx, 1, "client-mt/alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rotated.PK.Equal(group.PK) {
+		t.Fatal("rotation kept the old public key")
+	}
+	sig2, _, err := alpha.Sign(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rotated.Verify(msg, sig2) || group.Verify(msg, sig2) {
+		t.Fatal("post-rotation signature not under the new key")
+	}
+
+	// Deletion tombstones the ID permanently.
+	unreachable, err := c.DeleteGroup(ctx, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unreachable) != 0 {
+		t.Fatalf("deletion missed signers %v", unreachable)
+	}
+	if _, _, err := alpha.Sign(ctx, msg); !errors.Is(err, service.ErrGroupDeleted) {
+		t.Fatalf("post-delete sign err = %v, want ErrGroupDeleted", err)
+	}
+	if _, _, err := alpha.RunDKG(ctx, 1, "client-mt/alpha"); !errors.Is(err, service.ErrGroupDeleted) {
+		t.Fatalf("re-mint err = %v, want ErrGroupDeleted", err)
+	}
+}

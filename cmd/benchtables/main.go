@@ -11,15 +11,24 @@
 //	benchtables -table bias      E11: Pedersen-DKG bias attack frequency
 //	benchtables -table prims     E12: pairing-substrate microbenchmarks
 //	benchtables -table all       everything above
+//
+// With -json PATH the command instead measures the core benchmark
+// families (the BenchmarkShareSign/Verify/Combine/DKG/... set from
+// bench_test.go) and writes them as one machine-readable JSON document —
+// the committed BENCH_core.json at the repo root is produced this way:
+//
+//	benchtables -json BENCH_core.json
 package main
 
 import (
 	"crypto/rand"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/big"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/baselines/adnstorage"
@@ -38,10 +47,17 @@ var (
 	tableFlag = flag.String("table", "all", "which table to print: sizes|ops|storage|dkg|rounds|aggregate|bias|prims|all")
 	quickFlag = flag.Bool("quick", false, "smaller sweeps and RSA moduli for a fast run")
 	trials    = flag.Int("bias-trials", 20, "trials for the bias-attack experiment")
+	jsonFlag  = flag.String("json", "", "measure the core benchmark families and write them as JSON to this path (skips the tables)")
 )
 
 func main() {
 	flag.Parse()
+	if *jsonFlag != "" {
+		if err := writeBenchJSON(*jsonFlag); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	run := func(name string, fn func()) {
 		if *tableFlag == name || *tableFlag == "all" {
 			fn()
@@ -536,4 +552,105 @@ func tablePrims() {
 		fmt.Printf("%-40s %12v\n", r.name, r.d.Round(10*time.Microsecond))
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// ---------------------------------------------------------------- -json
+
+// benchResult is one measured family in the BENCH_core.json document.
+type benchResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iters"`
+}
+
+// benchDoc is the machine-readable benchmark trajectory format: one
+// document per suite, committed at the repo root so successive runs can
+// be diffed.
+type benchDoc struct {
+	Schema    string        `json:"schema"`
+	Suite     string        `json:"suite"`
+	Substrate string        `json:"substrate"`
+	GoVersion string        `json:"go_version"`
+	GoOS      string        `json:"go_os"`
+	GoArch    string        `json:"go_arch"`
+	N         int           `json:"n"`
+	T         int           `json:"t"`
+	Results   []benchResult `json:"results"`
+}
+
+// writeBenchJSON measures the core benchmark families — the same
+// operations bench_test.go's BenchmarkShareSign/ShareVerify/Combine/
+// Verify/DKG/ProactiveRefresh and the substrate microbenchmarks time —
+// and writes them as one JSON document.
+func writeBenchJSON(path string) error {
+	const n, t = 5, 2
+	msg := []byte("bench probe")
+	params := core.NewParams("bench/json")
+	views, _, err := core.DistKeygen(params, n, t)
+	if err != nil {
+		return err
+	}
+	var parts []*core.PartialSignature
+	for _, i := range []int{1, 3, 5} {
+		ps, err := core.ShareSign(params, views[i].Share, msg)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, ps)
+	}
+	sig, err := core.Combine(views[1].PK, views[1].VKs, msg, parts, t)
+	if err != nil {
+		return err
+	}
+
+	doc := benchDoc{
+		Schema: "tsig-bench/v1", Suite: "core", Substrate: "math/big",
+		GoVersion: runtime.Version(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		N: n, T: t,
+	}
+	measure := func(name string, iters int, fn func()) {
+		doc.Results = append(doc.Results, benchResult{
+			Name: name, NsPerOp: float64(timeIt(iters, fn).Nanoseconds()), Iters: iters,
+		})
+	}
+	measure("ShareSign", 10, func() { _, _ = core.ShareSign(params, views[1].Share, msg) })
+	measure("ShareVerify", 5, func() { core.ShareVerify(views[1].PK, views[1].VKs[1], msg, parts[0]) })
+	measure("Combine", 10, func() { _, _ = core.Combine(views[1].PK, views[1].VKs, msg, parts, t) })
+	measure("Verify", 5, func() { core.Verify(views[1].PK, msg, sig) })
+	measure("DKG/n=5", 2, func() {
+		cfg := dkg.Config{N: n, T: t, NumSharings: core.Dim,
+			Scheme: dkg.PedersenScheme{Params: lhsps.NewParams("bench/json-dkg")}}
+		if _, err := dkg.Run(cfg); err != nil {
+			log.Fatal(err)
+		}
+	})
+	measure("ProactiveRefresh/n=5", 2, func() {
+		out, err := core.RunRefresh(params, n, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := core.ApplyRefresh(views[1], out.Results[1]); err != nil {
+			log.Fatal(err)
+		}
+	})
+	p, q := bn254.G1Generator(), bn254.G2Generator()
+	k := must(bn254.RandScalar(rand.Reader))
+	measure("Pairing", 5, func() { bn254.Pair(p, q) })
+	measure("MultiPair4", 5, func() {
+		_, _ = bn254.MultiPair([]*bn254.G1{p, p, p, p}, []*bn254.G2{q, q, q, q})
+	})
+	measure("HashToG1", 20, func() { bn254.HashToG1("bench/json", []byte("m")) })
+	measure("G1ScalarMult", 20, func() { new(bn254.G1).ScalarMult(p, k) })
+	measure("G2ScalarMult", 10, func() { new(bn254.G2).ScalarMult(q, k) })
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchtables: wrote %d results -> %s\n", len(doc.Results), path)
+	return nil
 }

@@ -15,6 +15,17 @@
 //	tsigcli combine -group keys/group.json -msg "hello" -out final.sig 1.psig 3.psig 5.psig
 //	tsigcli verify  -group keys/group.json -msg "hello" -sig final.sig
 //
+// A multi-tenant fleet (tsigd with -keystore-dir) hosts many independent
+// key groups; the group subcommands manage them and -gid scopes sign and
+// refresh to one tenant:
+//
+//	tsigcli group create -remote http://coordinator:9090 -gid payments -t 2 -domain payments/v1
+//	tsigcli group list   -remote http://coordinator:9090
+//	tsigcli group rotate -remote http://coordinator:9090 -gid payments -t 2 -domain payments/v1
+//	tsigcli group rm     -remote http://coordinator:9090 -gid payments
+//	tsigcli sign    -remote http://coordinator:9090 -gid payments -msg "hello"
+//	tsigcli refresh -remote http://coordinator:9090 -gid payments
+//
 // With -remote, keygen runs the actual wire protocol: every share is
 // generated on — and never leaves — its own signer daemon, and only the
 // public group description comes back (written to -dir/group.json).
@@ -56,6 +67,8 @@ func main() {
 		err = cmdCombine(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "group":
+		err = cmdGroup(os.Args[2:])
 	default:
 		usage()
 	}
@@ -66,8 +79,157 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tsigcli {keygen|sign|refresh|combine|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tsigcli {keygen|sign|refresh|combine|verify|group} [flags]")
 	os.Exit(2)
+}
+
+// cmdGroup manages the tenant groups of a multi-tenant fleet.
+func cmdGroup(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: tsigcli group {create|list|rotate|rm} [flags]")
+	}
+	switch args[0] {
+	case "create":
+		return cmdGroupCreate(args[1:])
+	case "list":
+		return cmdGroupList(args[1:])
+	case "rotate":
+		return cmdGroupRotate(args[1:])
+	case "rm":
+		return cmdGroupRm(args[1:])
+	default:
+		return fmt.Errorf("group: unknown subcommand %q (want create, list, rotate, or rm)", args[0])
+	}
+}
+
+// cmdGroupCreate mints a tenant: it registers the group ID across the
+// fleet and drives a distributed keygen for it on the spot. Every
+// private share is born on its own signer daemon; only the public group
+// description comes back.
+func cmdGroupCreate(args []string) error {
+	fs := flag.NewFlagSet("group create", flag.ExitOnError)
+	remote := fs.String("remote", "", "coordinator base URL (required)")
+	gid := fs.String("gid", "", "group ID to create (required)")
+	t := fs.Int("t", 2, "threshold (any t+1 sign; requires n >= 2t+1 signers)")
+	domain := fs.String("domain", "", "parameter domain label (required)")
+	dir := fs.String("dir", "", "optional directory to write the public group.json to")
+	timeout := fs.Duration("timeout", 60*time.Second, "keygen timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" || *gid == "" || *domain == "" {
+		return fmt.Errorf("group create: -remote, -gid, and -domain are required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := (&client.Client{BaseURL: *remote}).ForGroup(*gid)
+	group, resp, err := cl.RunDKG(ctx, *t, *domain)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("group create: %q keyed in %d rounds: n=%d t=%d domain %q", *gid, resp.Rounds, group.N, group.T, group.Domain)
+	if len(resp.Crashed) > 0 {
+		fmt.Printf(" (crashed signers: %v)", resp.Crashed)
+	}
+	if *dir != "" {
+		path := filepath.Join(*dir, "group.json")
+		if err := tsig.WriteGroup(path, group); err != nil {
+			return err
+		}
+		fmt.Printf(" -> %s", path)
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdGroupList(args []string) error {
+	fs := flag.NewFlagSet("group list", flag.ExitOnError)
+	remote := fs.String("remote", "", "coordinator or signer base URL (required)")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" {
+		return fmt.Errorf("group list: -remote is required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	groups, err := (&client.Client{BaseURL: *remote}).ListGroups(ctx)
+	if err != nil {
+		return err
+	}
+	if len(groups) == 0 {
+		fmt.Println("group list: no groups registered")
+		return nil
+	}
+	for _, g := range groups {
+		switch {
+		case g.Deleted:
+			fmt.Printf("%s\tdeleted\n", g.ID)
+		case !g.Ready:
+			fmt.Printf("%s\tkeyless\n", g.ID)
+		default:
+			fmt.Printf("%s\tready\tn=%d t=%d epoch=%d domain=%q\n", g.ID, g.N, g.T, g.Epoch, g.Domain)
+		}
+	}
+	return nil
+}
+
+// cmdGroupRotate replaces a tenant's key material with a freshly
+// generated key under a bumped epoch (a full DKG, not a refresh: the
+// public key CHANGES).
+func cmdGroupRotate(args []string) error {
+	fs := flag.NewFlagSet("group rotate", flag.ExitOnError)
+	remote := fs.String("remote", "", "coordinator base URL (required)")
+	gid := fs.String("gid", "", "group ID to rotate (default: the default group)")
+	t := fs.Int("t", 2, "threshold for the new key")
+	domain := fs.String("domain", "", "parameter domain label for the new key (required)")
+	timeout := fs.Duration("timeout", 60*time.Second, "rotation timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" || *domain == "" {
+		return fmt.Errorf("group rotate: -remote and -domain are required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := (&client.Client{BaseURL: *remote}).ForGroup(*gid)
+	group, resp, err := cl.Rotate(ctx, *t, *domain)
+	if err != nil {
+		return err
+	}
+	name := *gid
+	if name == "" {
+		name = "default"
+	}
+	fmt.Printf("group rotate: %q re-keyed in %d rounds: n=%d t=%d domain %q (the public key CHANGED)\n",
+		name, resp.Rounds, group.N, group.T, group.Domain)
+	return nil
+}
+
+func cmdGroupRm(args []string) error {
+	fs := flag.NewFlagSet("group rm", flag.ExitOnError)
+	remote := fs.String("remote", "", "coordinator base URL (required)")
+	gid := fs.String("gid", "", "group ID to delete (required)")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" || *gid == "" {
+		return fmt.Errorf("group rm: -remote and -gid are required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	unreachable, err := (&client.Client{BaseURL: *remote}).DeleteGroup(ctx, *gid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("group rm: %q tombstoned (the ID is retired permanently)", *gid)
+	if len(unreachable) > 0 {
+		fmt.Printf("; signers %v were unreachable — re-run once they are back", unreachable)
+	}
+	fmt.Println()
+	return nil
 }
 
 func cmdKeygen(args []string) error {
@@ -129,6 +291,7 @@ func cmdRefresh(args []string) error {
 	fs := flag.NewFlagSet("refresh", flag.ExitOnError)
 	remote := fs.String("remote", "", "coordinator base URL (required)")
 	groupPath := fs.String("group", "", "local group file to rewrite with the refreshed verification keys")
+	gid := fs.String("gid", "", "tenant group ID to refresh (default: the default group)")
 	timeout := fs.Duration("timeout", 60*time.Second, "request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,7 +301,7 @@ func cmdRefresh(args []string) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	cl := &client.Client{BaseURL: *remote}
+	cl := (&client.Client{BaseURL: *remote}).ForGroup(*gid)
 
 	// An explicitly named group file pins the refresh invariant — the
 	// public key must not change — so it must load; silently skipping
@@ -179,6 +342,7 @@ func cmdSign(args []string) error {
 	groupPath := fs.String("group", "group.json", "group file")
 	sharePath := fs.String("share", "", "share file (local partial signing)")
 	remote := fs.String("remote", "", "coordinator base URL (remote full signing)")
+	gid := fs.String("gid", "", "with -remote: tenant group ID to sign under (default: the default group)")
 	msg := fs.String("msg", "", "message to sign")
 	batch := fs.Bool("batch", false, "with -remote: sign every positional argument in one batch request")
 	out := fs.String("out", "", "output file")
@@ -189,6 +353,9 @@ func cmdSign(args []string) error {
 	if *batch && *remote == "" {
 		return fmt.Errorf("sign: -batch requires -remote")
 	}
+	if *gid != "" && *remote == "" {
+		return fmt.Errorf("sign: -gid requires -remote")
+	}
 	if *remote != "" {
 		groupSet := false
 		fs.Visit(func(f *flag.Flag) {
@@ -196,10 +363,11 @@ func cmdSign(args []string) error {
 				groupSet = true
 			}
 		})
+		cl := (&client.Client{BaseURL: *remote}).ForGroup(*gid)
 		if *batch {
-			return remoteSignBatch(*remote, *groupPath, groupSet, fs.Args(), *out, *timeout)
+			return remoteSignBatch(cl, *groupPath, groupSet, fs.Args(), *out, *timeout)
 		}
-		return remoteSign(*remote, *groupPath, groupSet, *msg, *out, *timeout)
+		return remoteSign(cl, *groupPath, groupSet, *msg, *out, *timeout)
 	}
 	if *sharePath == "" || *out == "" {
 		return fmt.Errorf("sign: -share and -out are required (or use -remote)")
@@ -228,10 +396,9 @@ func cmdSign(args []string) error {
 // only without one does verification fall back to the key the service
 // advertises, which still catches transport corruption but not a lying
 // coordinator.
-func remoteSign(baseURL, groupPath string, groupSet bool, msg, out string, timeout time.Duration) error {
+func remoteSign(cl *client.Client, groupPath string, groupSet bool, msg, out string, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	cl := &client.Client{BaseURL: baseURL}
 
 	pk, n, t, err := trustedPubkey(ctx, cl, groupPath, groupSet)
 	if err != nil {
@@ -262,13 +429,12 @@ func remoteSign(baseURL, groupPath string, groupSet bool, msg, out string, timeo
 // coordinator's /v1/sign-batch endpoint and verifies each returned
 // signature. With -out, one hex signature per line is written, in
 // message order.
-func remoteSignBatch(baseURL, groupPath string, groupSet bool, msgs []string, out string, timeout time.Duration) error {
+func remoteSignBatch(cl *client.Client, groupPath string, groupSet bool, msgs []string, out string, timeout time.Duration) error {
 	if len(msgs) == 0 {
 		return fmt.Errorf("sign: -batch needs at least one message argument")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	cl := &client.Client{BaseURL: baseURL}
 
 	pk, n, t, err := trustedPubkey(ctx, cl, groupPath, groupSet)
 	if err != nil {
@@ -318,12 +484,17 @@ func remoteSignBatch(baseURL, groupPath string, groupSet bool, msgs []string, ou
 // trustedPubkey resolves the public key signatures are verified against:
 // the local group file when available (a coordinator can only vouch for
 // itself), else the key the service advertises — which still catches
-// transport corruption but not a lying coordinator.
+// transport corruption but not a lying coordinator. For a named tenant
+// (-gid) the implicit group.json is never consulted — it describes the
+// DEFAULT group, whose key would wrongly reject the tenant's signatures
+// — so only an explicitly passed -group file is trusted there.
 func trustedPubkey(ctx context.Context, cl *client.Client, groupPath string, groupSet bool) (*tsig.PublicKey, int, int, error) {
-	if group, err := tsig.LoadGroup(groupPath); err == nil {
-		return group.PK, group.N, group.T, nil
-	} else if groupSet {
-		return nil, 0, 0, err // an explicitly named group file must load
+	if groupSet || cl.GroupID == "" {
+		if group, err := tsig.LoadGroup(groupPath); err == nil {
+			return group.PK, group.N, group.T, nil
+		} else if groupSet {
+			return nil, 0, 0, err // an explicitly named group file must load
+		}
 	}
 	pk, info, err := cl.FetchPubkey(ctx)
 	if err != nil {

@@ -208,3 +208,71 @@ func TestRemoteKeygenRefreshWorkflow(t *testing.T) {
 		t.Fatal("refresh accepted without -remote")
 	}
 }
+
+// TestRemoteSignTenantGid covers signing under a named tenant (-gid):
+// an implicit ./group.json describes the DEFAULT group and must NOT be
+// used to verify a tenant's signature (regression: the tenant's valid
+// signature was rejected as INVALID), while an explicitly passed wrong
+// -group file must still fail loudly.
+func TestRemoteSignTenantGid(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdKeygen([]string{"-n", "3", "-t", "1", "-domain", "cli-gid-test", "-dir", dir}); err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	group, err := tsig.LoadGroup(filepath.Join(dir, "group.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, group.N)
+	for i := 1; i <= group.N; i++ {
+		share, err := tsig.LoadShare(filepath.Join(dir, "share-"+string(rune('0'+i))+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		signer, err := service.NewSigner(group, share, service.SignerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(signer)
+		defer srv.Close()
+		urls[i-1] = srv.URL
+	}
+	coord, err := service.NewCoordinator(group, urls, service.CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(coord)
+	defer coordSrv.Close()
+
+	// Mint the tenant over the wire; its public description goes to a
+	// separate directory so ./group.json stays the default group's.
+	tenantDir := t.TempDir()
+	if err := cmdGroupCreate([]string{"-remote", coordSrv.URL, "-gid", "orders",
+		"-t", "1", "-domain", "cli-gid-test/orders", "-dir", tenantDir}); err != nil {
+		t.Fatalf("group create: %v", err)
+	}
+
+	// From a cwd holding the DEFAULT group.json, a tenant sign must
+	// ignore it and verify against the tenant's advertised key.
+	t.Chdir(dir)
+	sigPath := filepath.Join(tenantDir, "orders.sig")
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-gid", "orders",
+		"-msg", "tenant hello", "-out", sigPath}); err != nil {
+		t.Fatalf("tenant sign with the default group.json in cwd: %v", err)
+	}
+	// The signature really is the tenant's, not the default group's.
+	if err := cmdVerify([]string{"-group", filepath.Join(tenantDir, "group.json"),
+		"-msg", "tenant hello", "-sig", sigPath}); err != nil {
+		t.Fatalf("verify under tenant key: %v", err)
+	}
+	if err := cmdVerify([]string{"-group", filepath.Join(dir, "group.json"),
+		"-msg", "tenant hello", "-sig", sigPath}); err == nil {
+		t.Fatal("tenant signature verified under the default group's key")
+	}
+	// An explicitly trusted -group file naming the WRONG group must
+	// still reject the coordinator's answer.
+	if err := cmdSign([]string{"-remote", coordSrv.URL, "-gid", "orders",
+		"-group", filepath.Join(dir, "group.json"), "-msg", "tenant hello", "-out", sigPath}); err == nil {
+		t.Fatal("explicit default -group accepted for a tenant signature")
+	}
+}

@@ -66,6 +66,7 @@ import (
 
 	tsig "repro"
 	"repro/service"
+	"repro/service/registry"
 )
 
 func main() {
@@ -103,6 +104,7 @@ func cmdSigner(args []string) error {
 	queue := fs.Int("queue", 0, "max requests waiting for a worker (0 = default)")
 	maxBatch := fs.Int("max-batch", 0, "max messages per /v1/sign-batch request (0 = default)")
 	sessionTTL := fs.Duration("session-ttl", 0, "protocol session GC timeout (0 = default 2m)")
+	keystoreDir := fs.String("keystore-dir", "", "multi-tenant keystore directory: persists the group registry and every tenant's key material (without it, non-default tenants live in memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +115,13 @@ func cmdSigner(args []string) error {
 		},
 		Index:      *index,
 		SessionTTL: *sessionTTL,
+	}
+	if *keystoreDir != "" {
+		reg, err := registry.Open(registry.Config{Dir: *keystoreDir})
+		if err != nil {
+			return fmt.Errorf("signer: opening keystore dir: %w", err)
+		}
+		cfg.Registry = reg
 	}
 	switch {
 	case *keystore != "":
@@ -156,8 +165,15 @@ func cmdSigner(args []string) error {
 		}
 		cfg.Group, cfg.Share = member.Group(), member.PrivateShare()
 		cfg.Persist = persistShare(*groupPath, *sharePath)
+	case *keystoreDir != "":
+		// Registry-only mode: the multi-tenant keystore is the single
+		// source of key material. The daemon recovers the default group's
+		// share from it when present, else starts keyless.
+		if *index < 1 {
+			return fmt.Errorf("signer: -keystore-dir requires -index")
+		}
 	default:
-		return fmt.Errorf("signer: -share or -keystore is required")
+		return fmt.Errorf("signer: -share, -keystore, or -keystore-dir is required")
 	}
 
 	signer, err := service.NewDaemonSigner(cfg)
@@ -193,6 +209,7 @@ func cmdCoordinator(args []string) error {
 	batchWindow := fs.Duration("batch-window", 0,
 		"collect concurrent sign requests for this long and fan them out as one batch (0 disables)")
 	maxBatch := fs.Int("max-batch", 0, "max messages per batch (0 = default)")
+	keystoreDir := fs.String("keystore-dir", "", "multi-tenant keystore directory: persists the group registry and every tenant's public group (without it, non-default tenants live in memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,6 +227,13 @@ func cmdCoordinator(args []string) error {
 		PersistGroup: func(g *tsig.Group) error {
 			return tsig.WriteGroup(*groupPath, g)
 		},
+	}
+	if *keystoreDir != "" {
+		reg, err := registry.Open(registry.Config{Dir: *keystoreDir})
+		if err != nil {
+			return fmt.Errorf("coordinator: opening keystore dir: %w", err)
+		}
+		cfg.Registry = reg
 	}
 
 	var coord *service.Coordinator

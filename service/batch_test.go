@@ -637,7 +637,7 @@ func TestCoordinatorRejectsBadInputWith400(t *testing.T) {
 func TestFlightGroupSurvivesLeaderPanic(t *testing.T) {
 	g := newFlightGroup()
 	var key cacheKey
-	key[0] = 7
+	key.digest[0] = 7
 
 	leaderIn := make(chan struct{})
 	release := make(chan struct{})

@@ -26,7 +26,7 @@ import (
 // Share-Verify multi-pairings; when that batch check fails, bisection
 // pinpoints exactly the Byzantine shares and the rest still count.
 type batcher struct {
-	coord  *Coordinator
+	tn     *coordTenant
 	window time.Duration
 	max    int
 
@@ -67,8 +67,8 @@ func (it *batchItem) complete(out *signOutcome, err error) {
 	close(it.done)
 }
 
-func newBatcher(c *Coordinator, window time.Duration, max int) *batcher {
-	return &batcher{coord: c, window: window, max: max}
+func newBatcher(tn *coordTenant, window time.Duration, max int) *batcher {
+	return &batcher{tn: tn, window: window, max: max}
 }
 
 // sign joins the forming batch and waits for this message's outcome. The
@@ -104,7 +104,7 @@ func (b *batcher) join(msg []byte, key cacheKey) *batchItem {
 			// fails exactly as it would unbatched.)
 			full := b.cur
 			b.cur = nil
-			go b.coord.batchFanOut(context.Background(), full.order)
+			go b.tn.batchFanOut(context.Background(), full.order)
 		}
 	}
 	it := &batchItem{msg: msg, key: key, done: make(chan struct{})}
@@ -120,7 +120,7 @@ func (b *batcher) join(msg []byte, key cacheKey) *batchItem {
 	if len(fb.order) >= b.max {
 		b.cur = nil // full: dispatch now; the window timer becomes a no-op
 		b.mu.Unlock()
-		go b.coord.batchFanOut(context.Background(), fb.order)
+		go b.tn.batchFanOut(context.Background(), fb.order)
 		return it
 	}
 	b.mu.Unlock()
@@ -136,7 +136,7 @@ func (b *batcher) dispatch(fb *formingBatch) {
 	}
 	b.cur = nil
 	b.mu.Unlock()
-	b.coord.batchFanOut(context.Background(), fb.order)
+	b.tn.batchFanOut(context.Background(), fb.order)
 }
 
 // msgState tracks one in-flight message of a batch fan-out.
@@ -153,7 +153,8 @@ type msgState struct {
 // and completes each item the moment it holds t+1 valid shares. Items
 // that never reach quorum are completed with a QuorumError; the laggard
 // signer requests are canceled as soon as every message is settled.
-func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
+func (tn *coordTenant) batchFanOut(ctx context.Context, items []*batchItem) {
+	c := tn.c
 	// A panic must not strand the batch: an item whose done channel never
 	// closes wedges its flight-group key forever (SignBatch's relay
 	// goroutines block on <-it.done), and on the window batcher's
@@ -191,7 +192,7 @@ func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
 	}
 	// Capture the group view once: a refresh that lands mid-batch must
 	// not mix old and new verification keys within one fan-out.
-	group := c.group.Load()
+	group := tn.group.Load()
 	if group == nil {
 		for _, it := range items {
 			it.complete(nil, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial))
@@ -208,7 +209,7 @@ func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
 	results := make(chan signerResult, group.N)
 	for i := 1; i <= group.N; i++ {
 		go func(i int) {
-			parts, errs, err := c.fetchPartialBatch(ctx, i, msgs, body)
+			parts, errs, err := tn.fetchPartialBatch(ctx, i, msgs, body)
 			results <- signerResult{index: i, parts: parts, errs: errs, err: err}
 		}(i)
 	}
@@ -320,10 +321,11 @@ func (c *Coordinator) batchFanOut(ctx context.Context, items []*batchItem) {
 // failed to decode (the caller treats it as Byzantine); errs[j] is
 // non-nil when the fallback could not reach the signer for message j
 // only. Either way the signer's other answers still count.
-func (c *Coordinator) fetchPartialBatch(ctx context.Context, index int, msgs [][]byte, body []byte) ([]*core.PartialSignature, []error, error) {
+func (tn *coordTenant) fetchPartialBatch(ctx context.Context, index int, msgs [][]byte, body []byte) ([]*core.PartialSignature, []error, error) {
+	c := tn.c
 	bctx, cancel := context.WithTimeout(ctx, c.cfg.SignerTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(bctx, http.MethodPost, c.urls[index-1]+"/v1/sign-batch", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(bctx, http.MethodPost, c.urls[index-1]+tn.prefix()+"/sign-batch", bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -343,7 +345,7 @@ func (c *Coordinator) fetchPartialBatch(ctx context.Context, index int, msgs [][
 		// The fallback runs under the fan-out's context, NOT the batch
 		// request's expiring timeout: each /v1/sign request gets its own
 		// SignerTimeout inside fetchPartial.
-		return c.fetchPartialsSequentially(ctx, index, msgs)
+		return tn.fetchPartialsSequentially(ctx, index, msgs)
 	case http.StatusOK:
 	default:
 		return nil, nil, fmt.Errorf("signer %d: status %d: %s", index, resp.StatusCode, bytes.TrimSpace(raw))
@@ -369,7 +371,7 @@ func (c *Coordinator) fetchPartialBatch(ctx context.Context, index int, msgs [][
 // own SignerTimeout. Per-message failures are recorded in errs and do
 // not discard the partials already fetched; only a signer that failed
 // every message is reported as wholly unreachable.
-func (c *Coordinator) fetchPartialsSequentially(ctx context.Context, index int, msgs [][]byte) ([]*core.PartialSignature, []error, error) {
+func (tn *coordTenant) fetchPartialsSequentially(ctx context.Context, index int, msgs [][]byte) ([]*core.PartialSignature, []error, error) {
 	parts := make([]*core.PartialSignature, len(msgs))
 	errs := make([]error, len(msgs))
 	failed := 0
@@ -381,7 +383,7 @@ func (c *Coordinator) fetchPartialsSequentially(ctx context.Context, index int, 
 		if err != nil {
 			return nil, nil, err
 		}
-		if parts[j], errs[j] = c.fetchPartial(ctx, index, body); errs[j] != nil {
+		if parts[j], errs[j] = tn.fetchPartial(ctx, index, body); errs[j] != nil {
 			failed++
 		}
 	}

@@ -3,17 +3,19 @@ package service
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/service/registry"
 )
 
 // CoordinatorConfig tunes the coordinator's fan-out and caching.
@@ -42,9 +44,15 @@ type CoordinatorConfig struct {
 	// DefaultProtoRoundTimeout.
 	ProtoRoundTimeout time.Duration
 	// PersistGroup, when set, is called with the new group after a
-	// successful keygen or refresh run, before it is installed; a failure
-	// keeps the old group (the tsigd keyfile hook).
+	// successful keygen or refresh run, once it is installed. It applies
+	// to the default group only — other tenants persist through Registry.
 	PersistGroup func(*core.Group) error
+	// Registry is the multi-tenant group registry (tsigd -keystore-dir).
+	// Nil means a memory-only registry: tenants can still be minted over
+	// the wire, but nothing survives a restart. When file-backed and the
+	// coordinator is constructed keyless, the default group is loaded
+	// from its keystore if present.
+	Registry *registry.Registry
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -77,24 +85,61 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 //	POST /v1/sign       {"message": base64} -> SignatureResponse
 //	POST /v1/sign-batch {"messages": [base64...]} -> SignBatchResponse
 //	GET  /v1/pubkey     -> PubkeyResponse
-//	GET  /healthz       -> HealthResponse
+//	GET  /v1/groups     -> GroupsResponse (every registered tenant)
+//	GET  /healthz       -> HealthResponse (process liveness)
+//	GET  /readyz        -> ReadyResponse (per-group key state)
+//	POST /v1/proto/{dkg|refresh}/run -> ProtoRunResponse
+//	DELETE /v1/g/{groupID} -> GroupDeleteResponse
+//
+// Like the signer, the coordinator is a multi-tenant KMS front: every
+// route above also exists as /v1/g/{groupID}/..., dispatching to that
+// tenant's group over the SAME signer fleet, and the un-namespaced form
+// aliases the "default" group. A DKG run against an unknown group ID
+// mints the tenant across the whole fleet.
 type Coordinator struct {
 	// group is swappable: a keyless coordinator starts with nil and
 	// installs the group a remote keygen produces; a refresh run swaps in
 	// the re-randomized verification keys. Signing fan-outs capture the
-	// pointer once, so one request sees one consistent view.
+	// pointer once, so one request sees one consistent view. This field
+	// is the DEFAULT tenant's group; others live in their coordTenant.
 	group  atomic.Pointer[core.Group]
 	urls   []string // urls[i-1] serves share i
 	cfg    CoordinatorConfig
-	cache  *sigCache
-	flight *flightGroup
-	batch  *batcher // nil unless BatchWindow > 0
+	cache  *sigCache    // shared across tenants; keys carry the group ID
+	flight *flightGroup // shared across tenants; keys carry the group ID
 	mux    *http.ServeMux
-	// protoMu serializes whole protocol runs (RunDKG, RunRefresh): the
-	// check-then-install on group must not interleave, and concurrent
-	// runs would race the signers' session slots and the PersistGroup
-	// writes.
+
+	// reg is the tenant registry; def the always-hot default tenant,
+	// whose group pointer aliases the field above.
+	reg      *registry.Registry
+	tenantMu sync.Mutex // serializes tenant minting and hot-cache fills
+	def      *coordTenant
+}
+
+// coordTenant is one tenant's signing state on the coordinator: the
+// group view, the per-tenant request batcher, and the protocol-run
+// lock. The default tenant aliases the Coordinator's own group field;
+// others live in the registry's hot LRU.
+type coordTenant struct {
+	c     *Coordinator
+	id    string
+	group *atomic.Pointer[core.Group]
+	batch *batcher // nil unless BatchWindow > 0
+	// protoMu serializes whole protocol runs (keygen, refresh) for this
+	// tenant: the check-then-install on group must not interleave, and
+	// concurrent runs would race the signers' session slots and the
+	// persistence writes.
 	protoMu sync.Mutex
+}
+
+// prefix is the tenant's URL prefix on the signer daemons. The default
+// tenant speaks the un-namespaced routes, so a coordinator in front of
+// pre-tenancy signer builds keeps working for the default group.
+func (tn *coordTenant) prefix() string {
+	if tn.id == DefaultGroupID {
+		return "/v1"
+	}
+	return "/v1/g/" + tn.id
 }
 
 // SignReport is the quorum accounting for one Sign call.
@@ -123,8 +168,21 @@ func NewCoordinator(group *core.Group, signerURLs []string, cfg CoordinatorConfi
 	if len(signerURLs) != group.N {
 		return nil, fmt.Errorf("service: %d signer URLs for a group of n=%d", len(signerURLs), group.N)
 	}
-	c := newCoordinator(signerURLs, cfg)
+	c, err := newCoordinator(signerURLs, cfg)
+	if err != nil {
+		return nil, err
+	}
 	c.group.Store(group)
+	// Adopt the file-provided group into the keystore: a later restart
+	// from -keystore-dir alone must keep serving the default group, and
+	// the manifest record written below would otherwise claim a
+	// readiness the keystore can't back. No-op for memory registries.
+	if err := c.reg.SaveGroup(registry.DefaultGroup, group); err != nil {
+		return nil, fmt.Errorf("service: adopting default group into the keystore: %w", err)
+	}
+	if err := syncDefaultRecord(c.reg, group); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -132,40 +190,129 @@ func NewCoordinator(group *core.Group, signerURLs []string, cfg CoordinatorConfi
 // can drive a distributed keygen across its signers (RunDKG, or POST
 // /v1/proto/dkg/run) and starts serving signatures the moment the keygen
 // completes. Until then, signing requests are refused with
-// ErrNoKeyMaterial.
+// ErrNoKeyMaterial. With a file-backed registry whose default keystore
+// exists, the default group is loaded from disk instead.
 func NewKeylessCoordinator(signerURLs []string, cfg CoordinatorConfig) (*Coordinator, error) {
 	if len(signerURLs) < 3 {
 		return nil, fmt.Errorf("service: %d signer URLs, need at least 3 (n >= 2t+1, t >= 1)", len(signerURLs))
 	}
-	return newCoordinator(signerURLs, cfg), nil
+	c, err := newCoordinator(signerURLs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if g, err := c.reg.LoadGroup(registry.DefaultGroup); err == nil {
+		c.group.Store(g)
+	}
+	if err := syncDefaultRecord(c.reg, c.group.Load()); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-func newCoordinator(signerURLs []string, cfg CoordinatorConfig) *Coordinator {
+func newCoordinator(signerURLs []string, cfg CoordinatorConfig) (*Coordinator, error) {
 	c := &Coordinator{
 		urls:   signerURLs,
 		cfg:    cfg.withDefaults(),
 		flight: newFlightGroup(),
 	}
-	c.cache = newSigCache(c.cfg.CacheSize) // nil when disabled
-	if c.cfg.BatchWindow > 0 {
-		c.batch = newBatcher(c, c.cfg.BatchWindow, c.cfg.MaxBatch)
+	c.reg = c.cfg.Registry
+	if c.reg == nil {
+		var err error
+		if c.reg, err = registry.Open(registry.Config{}); err != nil {
+			return nil, err
+		}
 	}
+	c.cache = newSigCache(c.cfg.CacheSize) // nil when disabled
+	c.def = newCoordTenant(c, DefaultGroupID, &c.group)
 	c.mux = http.NewServeMux()
-	c.mux.HandleFunc("POST /v1/sign", c.handleSign)
-	c.mux.HandleFunc("POST /v1/sign-batch", c.handleSignBatch)
-	c.mux.HandleFunc("GET /v1/pubkey", c.handlePubkey)
+	// Every tenant-scoped route exists un-namespaced (the default group,
+	// byte-identical to the pre-tenancy surface) and namespaced under
+	// /v1/g/{gid}.
+	for _, pre := range []string{"/v1", "/v1/g/{gid}"} {
+		c.mux.HandleFunc("POST "+pre+"/sign", c.forTenant(c.handleSign))
+		c.mux.HandleFunc("POST "+pre+"/sign-batch", c.forTenant(c.handleSignBatch))
+		c.mux.HandleFunc("GET "+pre+"/pubkey", c.forTenant(c.handlePubkey))
+		c.mux.HandleFunc("POST "+pre+"/proto/dkg/run", c.handleProtoRun(ProtoDKG))
+		c.mux.HandleFunc("POST "+pre+"/proto/refresh/run", c.handleProtoRun(ProtoRefresh))
+		// Any other method on a known path is answered 405 + Allow with a
+		// JSON body, not the mux's plain-text default.
+		c.mux.HandleFunc(pre+"/sign", methodNotAllowed(http.MethodPost))
+		c.mux.HandleFunc(pre+"/sign-batch", methodNotAllowed(http.MethodPost))
+		c.mux.HandleFunc(pre+"/pubkey", methodNotAllowed(http.MethodGet))
+		c.mux.HandleFunc(pre+"/proto/dkg/run", methodNotAllowed(http.MethodPost))
+		c.mux.HandleFunc(pre+"/proto/refresh/run", methodNotAllowed(http.MethodPost))
+	}
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
-	c.mux.HandleFunc("POST /v1/proto/dkg/run", c.handleProtoRun(ProtoDKG))
-	c.mux.HandleFunc("POST /v1/proto/refresh/run", c.handleProtoRun(ProtoRefresh))
-	// Any other method on a known path is answered 405 + Allow with a
-	// JSON body, not the mux's plain-text default.
-	c.mux.HandleFunc("/v1/sign", methodNotAllowed(http.MethodPost))
-	c.mux.HandleFunc("/v1/sign-batch", methodNotAllowed(http.MethodPost))
-	c.mux.HandleFunc("/v1/pubkey", methodNotAllowed(http.MethodGet))
+	c.mux.HandleFunc("GET /readyz", c.handleReady)
+	c.mux.HandleFunc("GET /v1/groups", c.handleGroups)
+	c.mux.HandleFunc("DELETE /v1/g/{gid}", c.handleGroupDelete)
 	c.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
-	c.mux.HandleFunc("/v1/proto/dkg/run", methodNotAllowed(http.MethodPost))
-	c.mux.HandleFunc("/v1/proto/refresh/run", methodNotAllowed(http.MethodPost))
-	return c
+	c.mux.HandleFunc("/readyz", methodNotAllowed(http.MethodGet))
+	c.mux.HandleFunc("/v1/groups", methodNotAllowed(http.MethodGet))
+	c.mux.HandleFunc("/v1/g/{gid}", methodNotAllowed(http.MethodDelete))
+	return c, nil
+}
+
+func newCoordTenant(c *Coordinator, id string, group *atomic.Pointer[core.Group]) *coordTenant {
+	tn := &coordTenant{c: c, id: id, group: group}
+	if c.cfg.BatchWindow > 0 {
+		tn.batch = newBatcher(tn, c.cfg.BatchWindow, c.cfg.MaxBatch)
+	}
+	return tn
+}
+
+// tenant resolves a group ID (empty aliases the default group) to its
+// live coordinator state, loading cold tenants' public groups from the
+// registry keystore. With create set — the DKG-run path — an unknown ID
+// is registered as a new keyless tenant.
+func (c *Coordinator) tenant(gid string, create bool) (*coordTenant, error) {
+	if gid == "" || gid == DefaultGroupID {
+		if rec, ok := c.reg.Get(DefaultGroupID); ok && rec.Deleted {
+			return nil, fmt.Errorf("service: group %q is tombstoned: %w", DefaultGroupID, ErrGroupDeleted)
+		}
+		return c.def, nil
+	}
+	if err := registry.ValidateID(gid); err != nil {
+		return nil, err
+	}
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	rec, ok := c.reg.Get(gid)
+	if ok && rec.Deleted {
+		return nil, fmt.Errorf("service: group %q is tombstoned: %w", gid, ErrGroupDeleted)
+	}
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("service: group %q is not registered (mint it with a keygen run): %w", gid, ErrUnknownGroup)
+		}
+		if err := c.reg.Put(registry.Record{ID: gid}); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := c.reg.HotGet(gid); ok {
+		return v.(*coordTenant), nil
+	}
+	tn := newCoordTenant(c, gid, new(atomic.Pointer[core.Group]))
+	if g, err := c.reg.LoadGroup(gid); err == nil {
+		tn.group.Store(g)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("service: loading group %q: %w", gid, err)
+	}
+	c.reg.HotPut(gid, tn)
+	return tn, nil
+}
+
+// forTenant adapts a tenant-scoped handler onto the mux, resolving
+// {gid} (or the default group) before the handler runs.
+func (c *Coordinator) forTenant(h func(*coordTenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn, err := c.tenant(r.PathValue("gid"), false)
+		if err != nil {
+			writeGroupError(w, err)
+			return
+		}
+		h(tn, w, r)
+	}
 }
 
 // Group returns the coordinator's public group description — nil until
@@ -174,29 +321,44 @@ func (c *Coordinator) Group() *core.Group { return c.group.Load() }
 
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
 
-// Sign produces the threshold signature on msg, consulting the cache,
-// coalescing with concurrent identical requests, and otherwise fanning
-// out to the signers — through the request batcher when BatchWindow is
-// configured, so concurrent distinct messages share one round-trip.
+// Sign produces the default group's threshold signature on msg,
+// consulting the cache, coalescing with concurrent identical requests,
+// and otherwise fanning out to the signers — through the request
+// batcher when BatchWindow is configured, so concurrent distinct
+// messages share one round-trip.
 func (c *Coordinator) Sign(ctx context.Context, msg []byte) (*core.Signature, SignReport, error) {
+	return c.SignGroup(ctx, DefaultGroupID, msg)
+}
+
+// SignGroup is Sign scoped to one tenant group.
+func (c *Coordinator) SignGroup(ctx context.Context, gid string, msg []byte) (*core.Signature, SignReport, error) {
+	tn, err := c.tenant(gid, false)
+	if err != nil {
+		return nil, SignReport{}, err
+	}
+	return tn.sign(ctx, msg)
+}
+
+func (tn *coordTenant) sign(ctx context.Context, msg []byte) (*core.Signature, SignReport, error) {
+	c := tn.c
 	if len(msg) == 0 {
 		return nil, SignReport{}, ErrEmptyMessage
 	}
-	if c.group.Load() == nil {
+	if tn.group.Load() == nil {
 		return nil, SignReport{}, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial)
 	}
-	key := cacheKey(sha256.Sum256(msg))
+	key := sigKey(tn.id, msg)
 	for {
 		if sig, signers, ok := c.cache.get(key); ok {
 			return sig, SignReport{Signers: signers, Cached: true}, nil
 		}
 		out, coalesced, err := c.flight.do(ctx, key, func() (*signOutcome, error) {
-			if c.batch != nil {
+			if tn.batch != nil {
 				// The batcher's fan-out populates the cache itself, per
 				// message, the moment each signature is combined.
-				return c.batch.sign(ctx, msg, key)
+				return tn.batch.sign(ctx, msg, key)
 			}
-			out, err := c.fanOut(ctx, msg)
+			out, err := tn.fanOut(ctx, msg)
 			if err != nil {
 				return nil, err
 			}
@@ -226,11 +388,11 @@ func (c *Coordinator) Sign(ctx context.Context, msg []byte) (*core.Signature, Si
 // fanOut queries all n signers concurrently and combines the first t+1
 // valid shares. The group view is captured once, so a concurrent refresh
 // cannot hand one request a mix of old and new verification keys.
-func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, error) {
+func (tn *coordTenant) fanOut(ctx context.Context, msg []byte) (*signOutcome, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	group := c.group.Load()
+	group := tn.group.Load()
 	if group == nil {
 		return nil, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial)
 	}
@@ -246,7 +408,7 @@ func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, err
 	results := make(chan partialResult, group.N)
 	for i := 1; i <= group.N; i++ {
 		go func(i int) {
-			ps, err := c.fetchPartial(ctx, i, body)
+			ps, err := tn.fetchPartial(ctx, i, body)
 			results <- partialResult{index: i, ps: ps, err: err}
 		}(i)
 	}
@@ -297,10 +459,11 @@ func (c *Coordinator) fanOut(ctx context.Context, msg []byte) (*signOutcome, err
 
 // fetchPartial requests one signer's share, bounded by SignerTimeout.
 // body is the serialized SignRequest, marshalled once per fan-out.
-func (c *Coordinator) fetchPartial(ctx context.Context, index int, body []byte) (*core.PartialSignature, error) {
+func (tn *coordTenant) fetchPartial(ctx context.Context, index int, body []byte) (*core.PartialSignature, error) {
+	c := tn.c
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.SignerTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.urls[index-1]+"/v1/sign", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.urls[index-1]+tn.prefix()+"/sign", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -348,13 +511,27 @@ type BatchResult struct {
 // call-level error is reserved for invalid input (empty batch, too many
 // messages) and context expiry.
 func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResult, error) {
+	return c.SignBatchGroup(ctx, DefaultGroupID, msgs)
+}
+
+// SignBatchGroup is SignBatch scoped to one tenant group.
+func (c *Coordinator) SignBatchGroup(ctx context.Context, gid string, msgs [][]byte) ([]BatchResult, error) {
+	tn, err := c.tenant(gid, false)
+	if err != nil {
+		return nil, err
+	}
+	return tn.signBatch(ctx, msgs)
+}
+
+func (tn *coordTenant) signBatch(ctx context.Context, msgs [][]byte) ([]BatchResult, error) {
+	c := tn.c
 	if len(msgs) == 0 {
 		return nil, errors.New("service: empty batch")
 	}
 	if len(msgs) > c.cfg.MaxBatch {
 		return nil, fmt.Errorf("service: batch of %d messages exceeds limit %d: %w", len(msgs), c.cfg.MaxBatch, ErrBatchTooLarge)
 	}
-	if c.group.Load() == nil {
+	if tn.group.Load() == nil {
 		return nil, fmt.Errorf("service: coordinator holds no group yet: %w", ErrNoKeyMaterial)
 	}
 	// Each distinct cache-missing message either becomes a flight leader
@@ -373,7 +550,7 @@ func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResu
 			results[j] = BatchResult{Err: ErrEmptyMessage}
 			continue
 		}
-		key := cacheKey(sha256.Sum256(msg))
+		key := sigKey(tn.id, msg)
 		if sig, signers, ok := c.cache.get(key); ok {
 			results[j] = BatchResult{Sig: sig, Report: SignReport{Signers: signers, Cached: true}}
 			continue
@@ -398,7 +575,7 @@ func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResu
 		waiting[j] = w
 	}
 	if len(items) > 0 {
-		c.batchFanOut(ctx, items)
+		tn.batchFanOut(ctx, items)
 	}
 	for j, w := range waiting {
 		if w.call == nil {
@@ -421,10 +598,10 @@ func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResu
 				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 				// The OTHER leader's client hung up mid-fan-out; this
 				// caller is still live, so sign the straggler itself
-				// (Sign re-checks the cache and claims a fresh flight).
+				// (sign re-checks the cache and claims a fresh flight).
 				var sig *core.Signature
 				var report SignReport
-				if sig, report, err = c.Sign(ctx, msgs[j]); err == nil {
+				if sig, report, err = tn.sign(ctx, msgs[j]); err == nil {
 					results[j] = BatchResult{Sig: sig, Report: report}
 					continue
 				}
@@ -444,7 +621,7 @@ func (c *Coordinator) SignBatch(ctx context.Context, msgs [][]byte) ([]BatchResu
 	return results, ctx.Err()
 }
 
-func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
+func (c *Coordinator) handleSign(tn *coordTenant, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -457,7 +634,7 @@ func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "missing message")
 		return
 	}
-	sig, report, err := c.Sign(r.Context(), req.Message)
+	sig, report, err := tn.sign(r.Context(), req.Message)
 	if err != nil {
 		writeSignError(w, r, err)
 		return
@@ -470,7 +647,7 @@ func (c *Coordinator) handleSign(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (c *Coordinator) handleSignBatch(w http.ResponseWriter, r *http.Request) {
+func (c *Coordinator) handleSignBatch(tn *coordTenant, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -486,7 +663,7 @@ func (c *Coordinator) handleSignBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d messages exceeds limit %d", len(req.Messages), c.cfg.MaxBatch))
 		return
 	}
-	results, err := c.SignBatch(r.Context(), req.Messages)
+	results, err := tn.signBatch(r.Context(), req.Messages)
 	if err != nil {
 		writeSignError(w, r, err)
 		return
@@ -542,8 +719,8 @@ func writeSignError(w http.ResponseWriter, r *http.Request, err error) {
 	writeErrorCode(w, status, code, err.Error())
 }
 
-func (c *Coordinator) handlePubkey(w http.ResponseWriter, _ *http.Request) {
-	group := c.group.Load()
+func (c *Coordinator) handlePubkey(tn *coordTenant, w http.ResponseWriter, _ *http.Request) {
+	group := tn.group.Load()
 	if group == nil {
 		writeErrorCode(w, http.StatusServiceUnavailable, CodeNoKey, "coordinator holds no group yet (run the distributed keygen)")
 		return
@@ -555,4 +732,82 @@ func (c *Coordinator) handlePubkey(w http.ResponseWriter, _ *http.Request) {
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (c *Coordinator) handleGroups(w http.ResponseWriter, _ *http.Request) {
+	infos, _ := groupInfos(c.reg)
+	writeJSON(w, http.StatusOK, GroupsResponse{Groups: infos})
+}
+
+func (c *Coordinator) handleReady(w http.ResponseWriter, _ *http.Request) {
+	infos, ready := groupInfos(c.reg)
+	status, state := http.StatusOK, "ready"
+	if !ready {
+		status, state = http.StatusServiceUnavailable, "unready"
+	}
+	writeJSON(w, status, ReadyResponse{Status: state, Groups: infos})
+}
+
+// Groups lists every registered tenant record (tombstones included).
+func (c *Coordinator) Groups() []registry.Record { return c.reg.List() }
+
+// DeleteGroup tombstones a tenant on the coordinator AND fans the
+// tombstone out to every signer, best-effort: deletion is a revocation,
+// so it is recorded locally first and signers that cannot be reached
+// are reported back (re-issue the delete when they return) rather than
+// failing the call. The ID is never reusable afterwards.
+func (c *Coordinator) DeleteGroup(ctx context.Context, gid string) ([]int, error) {
+	if err := registry.ValidateID(gid); err != nil {
+		return nil, err
+	}
+	c.tenantMu.Lock()
+	err := c.reg.Tombstone(gid)
+	c.tenantMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	c.cache.dropGroup(gid)
+
+	var (
+		mu          sync.Mutex
+		unreachable []int
+		wg          sync.WaitGroup
+	)
+	for i := 1; i <= len(c.urls); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dctx, cancel := context.WithTimeout(ctx, c.cfg.SignerTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(dctx, http.MethodDelete, c.urls[i-1]+"/v1/g/"+gid, nil)
+			if err == nil {
+				var resp *http.Response
+				if resp, err = c.cfg.HTTPClient.Do(req); err == nil {
+					io.Copy(io.Discard, io.LimitReader(resp.Body, maxRequestBytes))
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					}
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				unreachable = append(unreachable, i)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	sort.Ints(unreachable)
+	return unreachable, nil
+}
+
+func (c *Coordinator) handleGroupDelete(w http.ResponseWriter, r *http.Request) {
+	gid := r.PathValue("gid")
+	unreachable, err := c.DeleteGroup(r.Context(), gid)
+	if err != nil {
+		writeGroupError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GroupDeleteResponse{ID: gid, Unreachable: unreachable})
 }

@@ -342,7 +342,7 @@ func TestCoordinatorFollowerSurvivesLeaderCancel(t *testing.T) {
 
 func TestSigCacheLRUEviction(t *testing.T) {
 	c := newSigCache(2)
-	k := func(b byte) cacheKey { var k cacheKey; k[0] = b; return k }
+	k := func(b byte) cacheKey { var k cacheKey; k.digest[0] = b; return k }
 	sig := &core.Signature{}
 	c.add(k(1), sig, []int{1})
 	c.add(k(2), sig, []int{2})

@@ -55,6 +55,16 @@ var (
 	// session out of round order, or re-running keygen on a keyed
 	// coordinator.
 	ErrConflict = errors.New("service: conflicting request")
+
+	// ErrUnknownGroup: a namespaced request named a group ID the daemon's
+	// registry has never seen. Minting it is explicit — a DKG run against
+	// the ID — so a typo in a group ID cannot silently create a tenant.
+	ErrUnknownGroup = errors.New("service: unknown group")
+
+	// ErrGroupDeleted: the group ID is tombstoned. Tombstones are
+	// permanent — a deleted ID is never reusable, so a client holding a
+	// stale ID can never be served a different tenant's key.
+	ErrGroupDeleted = errors.New("service: group deleted")
 )
 
 // Machine-readable error codes carried in ErrorResponse.Code. They are
@@ -74,6 +84,8 @@ const (
 	CodeProtoFailed      = "protocol_failed"
 	CodeSessionNotFound  = "session_not_found"
 	CodeConflict         = "conflict"
+	CodeUnknownGroup     = "unknown_group"
+	CodeGroupDeleted     = "group_deleted"
 	// CodeQuorumInvalidShares is CodeQuorum with Byzantine evidence: the
 	// fan-out fell below t+1 valid shares AND at least one signer
 	// answered with an invalid share.
@@ -121,6 +133,10 @@ func errorCode(err error) string {
 		return CodeNoKey
 	case errors.Is(err, ErrSessionNotFound):
 		return CodeSessionNotFound
+	case errors.Is(err, ErrGroupDeleted):
+		return CodeGroupDeleted
+	case errors.Is(err, ErrUnknownGroup):
+		return CodeUnknownGroup
 	case errors.Is(err, ErrConflict):
 		return CodeConflict
 	case errors.Is(err, ErrProtocolFailed):

@@ -2,16 +2,20 @@ package service
 
 import (
 	"container/list"
+	"crypto/sha256"
 	"sync"
 
 	"repro/internal/core"
 )
 
-// sigCache is a fixed-capacity LRU cache of combined signatures, keyed by
-// message digest. The scheme is deterministic — one message has exactly
-// one signature under a given key — so cached entries never go stale
-// short of a key rotation (which changes the coordinator's group and
-// therefore the cache instance).
+// sigCache is a fixed-capacity LRU cache of combined signatures, keyed
+// by (group ID, message digest). The scheme is deterministic — one
+// message has exactly one signature under a given key — so cached
+// entries never go stale short of a key rotation, which drops the
+// rotated group's entries via dropGroup. The group ID is part of the
+// key because the cache is shared across tenants: two tenants signing
+// the same message have DIFFERENT signatures, and a digest-only key
+// would serve tenant A's signature to tenant B.
 type sigCache struct {
 	mu  sync.Mutex
 	cap int
@@ -19,7 +23,18 @@ type sigCache struct {
 	m   map[cacheKey]*list.Element
 }
 
-type cacheKey [32]byte
+// cacheKey qualifies a message digest with the tenant it was signed
+// for. It doubles as the flight-coalescing key, so concurrent identical
+// requests coalesce only within one tenant.
+type cacheKey struct {
+	gid    string
+	digest [32]byte
+}
+
+// sigKey builds the cache/flight key for one tenant's message.
+func sigKey(gid string, msg []byte) cacheKey {
+	return cacheKey{gid: gid, digest: sha256.Sum256(msg)}
+}
 
 type cacheEntry struct {
 	key     cacheKey
@@ -73,6 +88,25 @@ func (c *sigCache) add(key cacheKey, sig *core.Signature, signers []int) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// dropGroup evicts every entry of one tenant — called when a rotation
+// replaces the tenant's key, so signatures under the old key cannot be
+// served for the new epoch.
+func (c *sigCache) dropGroup(gid string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.gid == gid {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+		}
+		el = next
 	}
 }
 

@@ -49,7 +49,10 @@ import (
 const DefaultProtoRoundTimeout = 10 * time.Second
 
 // remotePeer is one signer daemon participating in a protocol session,
-// stepped over HTTP. Round 0 doubles as session creation.
+// stepped over HTTP. Round 0 doubles as session creation. baseURL
+// includes the tenant's URL prefix (/v1 for the default group,
+// /v1/g/{gid} otherwise), so one fleet hosts independent sessions per
+// tenant.
 type remotePeer struct {
 	client  *http.Client
 	baseURL string
@@ -93,7 +96,7 @@ func (p *remotePeer) post(ctx context.Context, endpoint string, body, out any) e
 	if err != nil {
 		return err
 	}
-	url := p.baseURL + "/v1/proto/" + p.proto + "/" + endpoint
+	url := p.baseURL + "/proto/" + p.proto + "/" + endpoint
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
 	if err != nil {
 		return err
@@ -151,6 +154,16 @@ func newSessionID() (string, error) {
 // resulting group is installed (and persisted via the PersistGroup hook)
 // and the coordinator immediately serves /v1/sign for it.
 func (c *Coordinator) RunDKG(ctx context.Context, t int, domain string) (*core.Group, *ProtoReport, error) {
+	return c.RunDKGGroup(ctx, DefaultGroupID, t, domain, false)
+}
+
+// RunDKGGroup drives a keygen for one tenant group. Against an unknown
+// group ID it MINTS the tenant: the ID is registered across the fleet
+// and its key material generated distributively on the spot. With
+// rotate set, a keyed tenant's key is REPLACED by a freshly generated
+// one under a bumped epoch (the old key's signatures remain valid under
+// the old public key; the service simply stops producing them).
+func (c *Coordinator) RunDKGGroup(ctx context.Context, gid string, t int, domain string, rotate bool) (*core.Group, *ProtoReport, error) {
 	n := len(c.urls)
 	if t < 1 || n < 2*t+1 {
 		return nil, nil, fmt.Errorf("service: bad keygen size n=%d t=%d (need t >= 1 and n >= 2t+1)", n, t)
@@ -158,12 +171,29 @@ func (c *Coordinator) RunDKG(ctx context.Context, t int, domain string) (*core.G
 	if domain == "" {
 		return nil, nil, fmt.Errorf("service: keygen needs a domain label")
 	}
-	c.protoMu.Lock()
-	defer c.protoMu.Unlock()
-	if c.group.Load() != nil {
-		return nil, nil, fmt.Errorf("service: coordinator already holds a group; a fresh keygen needs a fresh quorum: %w", ErrConflict)
+	tn, err := c.tenant(gid, true)
+	if err != nil {
+		return nil, nil, err
 	}
-	outcome, report, err := c.runProto(ctx, ProtoDKG, n, t, domain, nil)
+	return tn.runDKG(ctx, t, domain, rotate)
+}
+
+func (tn *coordTenant) runDKG(ctx context.Context, t int, domain string, rotate bool) (*core.Group, *ProtoReport, error) {
+	c := tn.c
+	n := len(c.urls)
+	tn.protoMu.Lock()
+	defer tn.protoMu.Unlock()
+	var epoch uint64
+	if tn.group.Load() != nil {
+		if !rotate {
+			return nil, nil, fmt.Errorf("service: coordinator already holds a group; a fresh keygen needs a fresh quorum: %w", ErrConflict)
+		}
+		// The rotation epoch is strictly beyond the tenant's record, which
+		// is what the signers' start gate demands.
+		rec, _ := c.reg.Get(tn.id)
+		epoch = rec.Epoch + 1
+	}
+	outcome, report, err := tn.runProto(ctx, ProtoDKG, n, t, domain, nil, epoch)
 	if err != nil {
 		return nil, report, err
 	}
@@ -172,7 +202,7 @@ func (c *Coordinator) RunDKG(ctx context.Context, t int, domain string) (*core.G
 		return nil, report, fmt.Errorf("service: keygen produced group n=%d t=%d domain %q, expected n=%d t=%d %q: %w",
 			group.N, group.T, group.Domain, n, t, domain, ErrProtocolFailed)
 	}
-	if err := c.installGroup(group); err != nil {
+	if err := tn.installGroup(group); err != nil {
 		return group, report, err
 	}
 	return group, report, nil
@@ -185,14 +215,27 @@ func (c *Coordinator) RunDKG(ctx context.Context, t int, domain string) (*core.G
 // as crashed keep their OLD shares — stale against the new verification
 // keys — and are reported in the ProtoReport.
 func (c *Coordinator) RunRefresh(ctx context.Context) (*core.Group, *ProtoReport, error) {
-	c.protoMu.Lock()
-	defer c.protoMu.Unlock()
-	old := c.group.Load()
+	return c.RunRefreshGroup(ctx, DefaultGroupID)
+}
+
+// RunRefreshGroup drives a proactive refresh for one tenant group.
+func (c *Coordinator) RunRefreshGroup(ctx context.Context, gid string) (*core.Group, *ProtoReport, error) {
+	tn, err := c.tenant(gid, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tn.runRefresh(ctx)
+}
+
+func (tn *coordTenant) runRefresh(ctx context.Context) (*core.Group, *ProtoReport, error) {
+	tn.protoMu.Lock()
+	defer tn.protoMu.Unlock()
+	old := tn.group.Load()
 	if old == nil {
 		return nil, nil, fmt.Errorf("service: coordinator holds no group to refresh: %w", ErrNoKeyMaterial)
 	}
 	oldHash := sha256.Sum256(old.Marshal())
-	outcome, report, err := c.runProto(ctx, ProtoRefresh, old.N, old.T, old.Domain, oldHash[:])
+	outcome, report, err := tn.runProto(ctx, ProtoRefresh, old.N, old.T, old.Domain, oldHash[:], 0)
 	if err != nil {
 		return nil, report, err
 	}
@@ -202,7 +245,7 @@ func (c *Coordinator) RunRefresh(ctx context.Context) (*core.Group, *ProtoReport
 	if group.N != old.N || group.T != old.T || group.Domain != old.Domain || !group.PK.Equal(old.PK) {
 		return nil, report, fmt.Errorf("service: refresh changed the group description: %w", ErrProtocolFailed)
 	}
-	if err := c.installGroup(group); err != nil {
+	if err := tn.installGroup(group); err != nil {
 		return group, report, err
 	}
 	return group, report, nil
@@ -217,8 +260,11 @@ type protoOutcome struct {
 // runProto drives one protocol session across all signers and returns
 // the outcome the survivors agreed on. groupHash, when non-nil, pins the
 // base state a refresh applies to (stale daemons refuse the session and
-// are excluded up front).
-func (c *Coordinator) runProto(ctx context.Context, proto string, n, t int, domain string, groupHash []byte) (*protoOutcome, *ProtoReport, error) {
+// are excluded up front). epoch, when non-zero, authorizes a keyed
+// signer to REPLACE its key material (rotation) — the signers demand it
+// be strictly beyond their recorded epoch.
+func (tn *coordTenant) runProto(ctx context.Context, proto string, n, t int, domain string, groupHash []byte, epoch uint64) (*protoOutcome, *ProtoReport, error) {
+	c := tn.c
 	session, err := newSessionID()
 	if err != nil {
 		return nil, nil, err
@@ -230,12 +276,12 @@ func (c *Coordinator) runProto(ctx context.Context, proto string, n, t int, doma
 	for i := 1; i <= n; i++ {
 		rp := &remotePeer{
 			client:  c.cfg.HTTPClient,
-			baseURL: c.urls[i-1],
+			baseURL: c.urls[i-1] + tn.prefix(),
 			proto:   proto,
 			id:      i,
 			start: ProtoStartRequest{
 				Session: session, N: n, T: t, Index: i, Domain: domain,
-				GroupHash: groupHash,
+				GroupHash: groupHash, Epoch: epoch,
 			},
 		}
 		peers[i-1] = rp
@@ -362,26 +408,55 @@ func (c *Coordinator) runProto(ctx context.Context, proto string, n, t int, doma
 	return &protoOutcome{group: group, qual: ref.Qual}, report, nil
 }
 
-// installGroup installs a new group view, then persists it (when
-// configured). Install-before-persist is deliberate and the OPPOSITE of
-// the signers' ordering: the signers' finish already installed their
-// private shares, so the coordinator refusing to serve the agreed group
-// would wedge the whole quorum over a local disk problem — the group is
-// public data, recoverable from any signer keystore or the client's
-// copy. A persist failure is still reported so the operator restores
-// durability before the next coordinator restart.
-func (c *Coordinator) installGroup(group *core.Group) error {
-	c.group.Store(group)
-	if c.cfg.PersistGroup != nil {
+// installGroup installs a new group view for the tenant, then persists
+// it (when configured). Install-before-persist is deliberate and the
+// OPPOSITE of the signers' ordering: the signers' finish already
+// installed their private shares, so the coordinator refusing to serve
+// the agreed group would wedge the whole quorum over a local disk
+// problem — the group is public data, recoverable from any signer
+// keystore or the client's copy. A persist failure is still reported so
+// the operator restores durability before the next coordinator restart.
+func (tn *coordTenant) installGroup(group *core.Group) error {
+	c := tn.c
+	old := tn.group.Swap(group)
+	// A rotation replaces the public key; signatures cached under the old
+	// key must never be served for the new one. (A refresh preserves the
+	// PK, so its cache entries stay valid and are kept.)
+	if old != nil && !old.PK.Equal(group.PK) {
+		c.cache.dropGroup(tn.id)
+	}
+	// Bump the tenant's record so the registry reflects the served epoch
+	// and the next rotation gates on it.
+	rec, _ := c.reg.Get(tn.id)
+	rec.ID = tn.id
+	rec.Domain, rec.N, rec.T = group.Domain, group.N, group.T
+	rec.Epoch++
+	var persistErr error
+	if err := c.reg.Put(rec); err != nil {
+		persistErr = err
+	}
+	// The legacy PersistGroup hook predates tenancy and captures a single
+	// path — it stays scoped to the default group.
+	if tn.id == DefaultGroupID && c.cfg.PersistGroup != nil {
 		if err := c.cfg.PersistGroup(group); err != nil {
-			return fmt.Errorf("service: group is INSTALLED and serving, but persisting it failed (restore durability before restarting the coordinator): %w", err)
+			persistErr = err
 		}
+	}
+	if err := c.reg.SaveGroup(tn.id, group); err != nil {
+		persistErr = err
+	}
+	if persistErr != nil {
+		return fmt.Errorf("service: group is INSTALLED and serving, but persisting it failed (restore durability before restarting the coordinator): %w", persistErr)
 	}
 	return nil
 }
 
-// handleProtoRun serves POST /v1/proto/{dkg|refresh}/run: it drives the
-// protocol across the signers and answers with the public outcome.
+// handleProtoRun serves POST /v1/proto/{dkg|refresh}/run and its
+// group-namespaced twin /v1/g/{gid}/proto/{dkg|refresh}/run: it drives
+// the protocol across the signers and answers with the public outcome.
+// A DKG run against an unknown group ID mints the tenant — but only
+// after the request parameters validate, so malformed requests cannot
+// register junk tenants.
 func (c *Coordinator) handleProtoRun(proto string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
@@ -409,9 +484,19 @@ func (c *Coordinator) handleProtoRun(proto string) http.HandlerFunc {
 				writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, "missing domain label")
 				return
 			}
-			group, report, err = c.RunDKG(r.Context(), req.T, req.Domain)
+			var tn *coordTenant
+			if tn, err = c.tenant(r.PathValue("gid"), true); err != nil {
+				writeGroupError(w, err)
+				return
+			}
+			group, report, err = tn.runDKG(r.Context(), req.T, req.Domain, req.Rotate)
 		case ProtoRefresh:
-			group, report, err = c.RunRefresh(r.Context())
+			var tn *coordTenant
+			if tn, err = c.tenant(r.PathValue("gid"), false); err != nil {
+				writeGroupError(w, err)
+				return
+			}
+			group, report, err = tn.runRefresh(r.Context())
 		}
 		if err != nil {
 			writeProtoError(w, r, err)

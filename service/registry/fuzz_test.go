@@ -1,0 +1,52 @@
+package registry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeManifest throws arbitrary bytes at the manifest decoder and
+// checks the canonical-form invariant: whatever decodes must re-encode
+// to the exact input bytes (there is one valid encoding per record set),
+// and the decoded records must individually satisfy the invariants the
+// encoder enforces.
+func FuzzDecodeManifest(f *testing.F) {
+	seedSets := [][]Record{
+		nil,
+		{{ID: "default", Domain: "svc/v1", N: 7, T: 3, Epoch: 1}},
+		{
+			{ID: "acme", Domain: "acme/v1", N: 5, T: 2, Epoch: 4},
+			{ID: "beta", Deleted: true, Epoch: 2},
+			{ID: "gamma.prod-eu_1", Domain: "g/v2", N: 9, T: 4, Epoch: 1},
+		},
+	}
+	for _, recs := range seedSets {
+		raw, err := EncodeManifest(recs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte("TSRG"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		recs, err := DecodeManifest(raw)
+		if err != nil {
+			return
+		}
+		for i, rec := range recs {
+			if err := ValidateID(rec.ID); err != nil {
+				t.Fatalf("decoder admitted invalid ID %q: %v", rec.ID, err)
+			}
+			if i > 0 && recs[i-1].ID >= rec.ID {
+				t.Fatalf("decoder admitted unsorted IDs: %q before %q", recs[i-1].ID, rec.ID)
+			}
+		}
+		out, err := EncodeManifest(recs)
+		if err != nil {
+			t.Fatalf("re-encode of decoded manifest failed: %v", err)
+		}
+		if !bytes.Equal(out, raw) {
+			t.Fatalf("decode/encode not canonical:\n in %x\nout %x", raw, out)
+		}
+	})
+}

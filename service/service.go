@@ -18,7 +18,21 @@
 // into one fan-out (signing is deterministic, so everyone gets the same
 // bytes), and an LRU cache serves repeated messages without touching the
 // network at all.
+//
+// The service is a multi-tenant KMS: every daemon carries a group
+// registry (service/registry) mapping group IDs to independent key
+// material, and every signing and protocol endpoint exists in a
+// group-namespaced form under /v1/g/{groupID}/... — the un-namespaced
+// /v1/* routes are an alias for the "default" group, so pre-tenancy
+// clients keep working unchanged. New tenants are minted over the wire:
+// a DKG run against an unknown group ID registers the tenant, drives
+// the keygen across the fleet, and installs per-tenant keystores.
 package service
+
+// DefaultGroupID is the group the un-namespaced /v1/* routes serve; it
+// mirrors registry.DefaultGroup without forcing wire-level callers to
+// import the registry package.
+const DefaultGroupID = "default"
 
 // maxRequestBytes caps inbound request bodies (and mirrors the cap on
 // response bodies read back from signers), so an oversized payload is
@@ -116,6 +130,47 @@ type HealthResponse struct {
 	Status   string `json:"status"`
 	Index    int    `json:"index,omitempty"`    // signer only
 	Inflight int    `json:"inflight,omitempty"` // signer: requests holding or waiting for a worker
+}
+
+// GroupInfo describes one registered tenant on GET /v1/groups and in
+// ReadyResponse. Epoch counts successful keygens and refreshes (0 = the
+// tenant is registered but holds no key material yet); Ready means the
+// tenant is serviceable — registered, not tombstoned, keyed.
+type GroupInfo struct {
+	ID      string `json:"id"`
+	Domain  string `json:"domain,omitempty"`
+	N       int    `json:"n,omitempty"`
+	T       int    `json:"t,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+	Deleted bool   `json:"deleted,omitempty"`
+	Ready   bool   `json:"ready"`
+}
+
+// GroupsResponse lists every registered tenant (tombstones included) on
+// GET /v1/groups.
+type GroupsResponse struct {
+	Groups []GroupInfo `json:"groups"`
+}
+
+// GroupDeleteResponse answers DELETE /v1/g/{groupID}. On a coordinator,
+// Unreachable lists the 1-based signer indices whose tombstone fan-out
+// failed (the delete is recorded locally regardless; re-issue it when
+// those signers return).
+type GroupDeleteResponse struct {
+	ID          string `json:"id"`
+	Unreachable []int  `json:"unreachable,omitempty"`
+}
+
+// ReadyResponse answers GET /readyz: "ready" with HTTP 200 when the
+// daemon can actually serve signatures for at least one group,
+// "unready" with 503 otherwise — unlike /healthz, which reports process
+// liveness and answers 200 even on a keyless daemon. Groups carries the
+// per-group key state so a load balancer (or operator) sees WHICH
+// tenants are serviceable.
+type ReadyResponse struct {
+	Status string      `json:"status"`
+	Index  int         `json:"index,omitempty"` // signer only
+	Groups []GroupInfo `json:"groups"`
 }
 
 // ErrorResponse is the body of every non-2xx answer. Code, when set, is

@@ -90,6 +90,12 @@ type ProtoStartRequest struct {
 	// up front, BEFORE it could apply the epoch to a divergent base and
 	// end up disagreeing with everybody at finish time.
 	GroupHash []byte `json:"group_hash,omitempty"`
+	// Epoch (DKG only) authorizes a key ROTATION: a keyed signer refuses
+	// a keygen unless Epoch is strictly greater than its registry
+	// record's epoch, so a replayed or stale rotation request cannot
+	// regenerate a key behind the current one. Zero (the pre-tenancy
+	// wire form) means a fresh mint, allowed only on a keyless tenant.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ProtoStartResponse carries the player's round-0 messages.
@@ -140,6 +146,11 @@ type ProtoFinishResponse struct {
 type ProtoRunRequest struct {
 	T      int    `json:"t,omitempty"`
 	Domain string `json:"domain,omitempty"`
+	// Rotate (DKG only) authorizes replacing an EXISTING group's key with
+	// a freshly generated one: the coordinator bumps the tenant's epoch
+	// and drives a new keygen across the fleet. Without it, a keygen
+	// against a keyed group is a conflict.
+	Rotate bool `json:"rotate,omitempty"`
 }
 
 // ProtoRunResponse reports a completed protocol run: the session id, the
@@ -273,15 +284,30 @@ func (s *Signer) handleProtoStart(proto string) http.HandlerFunc {
 				fmt.Sprintf("start addressed to index %d, but this signer is %d", req.Index, s.index))
 			return
 		}
+		// Tenant resolution happens only after the body validated: a
+		// malformed start request against an unknown group ID must not
+		// register a junk tenant. Only a DKG start may mint one.
+		tn, err := s.tenant(r.PathValue("gid"), proto == ProtoDKG)
+		if err != nil {
+			writeGroupError(w, err)
+			return
+		}
 
 		var params *core.Params
-		st := s.state.Load()
+		st := tn.state.Load()
 		switch proto {
 		case ProtoDKG:
 			if st != nil {
-				writeErrorCode(w, http.StatusConflict, CodeConflict,
-					"signer already holds key material; a fresh keygen needs fresh daemons")
-				return
+				// A keyed tenant accepts a keygen only as an explicit
+				// rotation: the driver must present an epoch strictly
+				// beyond the record's, so replays and stale rotation
+				// attempts are refused.
+				rec, _ := s.reg.Get(tn.id)
+				if req.Epoch == 0 || req.Epoch <= rec.Epoch {
+					writeErrorCode(w, http.StatusConflict, CodeConflict,
+						"signer already holds key material; a fresh keygen needs fresh daemons (or a rotation with a higher epoch)")
+					return
+				}
 			}
 			if req.Domain == "" {
 				writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, "missing domain label")
@@ -324,7 +350,7 @@ func (s *Signer) handleProtoStart(proto string) http.HandlerFunc {
 			Scheme:  dkg.PedersenScheme{Params: params.LH},
 			Refresh: proto == ProtoRefresh,
 		}
-		player, honest, err := s.proto.factory(proto, cfg, s.index)
+		player, honest, err := tn.proto.factory(proto, cfg, s.index)
 		if err != nil {
 			writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 			return
@@ -346,7 +372,7 @@ func (s *Signer) handleProtoStart(proto string) http.HandlerFunc {
 			return
 		}
 		sess.round = 1
-		if err := s.proto.create(sess); err != nil {
+		if err := tn.proto.create(sess); err != nil {
 			writeErrorCode(w, http.StatusConflict, CodeConflict, err.Error())
 			return
 		}
@@ -366,13 +392,18 @@ func (s *Signer) handleProtoStep(proto string) http.HandlerFunc {
 			writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 			return
 		}
+		tn, err := s.tenant(r.PathValue("gid"), false)
+		if err != nil {
+			writeGroupError(w, err)
+			return
+		}
 		// The host lock covers lookup AND the step itself, so a session
 		// replaced by a newer start can never be stepped afterwards
 		// (sessions are driven by one coordinator; contention is not a
 		// concern).
-		s.proto.mu.Lock()
-		defer s.proto.mu.Unlock()
-		sess, err := s.proto.lookup(proto, req.Session)
+		tn.proto.mu.Lock()
+		defer tn.proto.mu.Unlock()
+		sess, err := tn.proto.lookup(proto, req.Session)
 		if err != nil {
 			writeErrorCode(w, http.StatusNotFound, CodeSessionNotFound, err.Error())
 			return
@@ -419,12 +450,17 @@ func (s *Signer) handleProtoFinish(proto string) http.HandlerFunc {
 			writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 			return
 		}
+		tn, err := s.tenant(r.PathValue("gid"), false)
+		if err != nil {
+			writeGroupError(w, err)
+			return
+		}
 		// The host lock covers lookup, install, and removal, so a finish
 		// can neither act on a session a newer start has replaced nor
 		// delete the replacement.
-		s.proto.mu.Lock()
-		defer s.proto.mu.Unlock()
-		sess, err := s.proto.lookup(proto, req.Session)
+		tn.proto.mu.Lock()
+		defer tn.proto.mu.Unlock()
+		sess, err := tn.proto.lookup(proto, req.Session)
 		if err != nil {
 			writeErrorCode(w, http.StatusNotFound, CodeSessionNotFound, err.Error())
 			return
@@ -454,7 +490,7 @@ func (s *Signer) handleProtoFinish(proto string) http.HandlerFunc {
 			}
 			share = view.Share
 		case ProtoRefresh:
-			st := s.state.Load()
+			st := tn.state.Load()
 			if st == nil {
 				writeErrorCode(w, http.StatusServiceUnavailable, CodeNoKey, "key material disappeared mid-refresh")
 				return
@@ -475,20 +511,41 @@ func (s *Signer) handleProtoFinish(proto string) http.HandlerFunc {
 		// Persist BEFORE installing: if the keystore write fails the
 		// session stays open, the daemon keeps serving its previous state,
 		// and the driver sees the failure instead of a daemon whose disk
-		// and memory disagree after a restart.
-		if s.persist != nil {
-			if err := s.persist(group, share); err != nil {
-				writeErrorCode(w, http.StatusInternalServerError, CodeBackend,
-					fmt.Sprintf("persisting key material: %v", err))
-				return
-			}
+		// and memory disagree after a restart. The registry record is
+		// updated in the same window — the epoch bump is what gates
+		// replayed rotation attempts.
+		if err := s.persistTenant(tn, group, share); err != nil {
+			writeErrorCode(w, http.StatusInternalServerError, CodeBackend,
+				fmt.Sprintf("persisting key material: %v", err))
+			return
 		}
-		s.state.Store(&signerState{group: group, share: share})
-		delete(s.proto.sessions, proto)
+		rec, _ := s.reg.Get(tn.id)
+		rec.ID = tn.id
+		rec.Domain, rec.N, rec.T = group.Domain, group.N, group.T
+		rec.Epoch++
+		if err := s.reg.Put(rec); err != nil {
+			writeErrorCode(w, http.StatusInternalServerError, CodeBackend,
+				fmt.Sprintf("persisting group record: %v", err))
+			return
+		}
+		tn.state.Store(&signerState{group: group, share: share})
+		delete(tn.proto.sessions, proto)
 		writeJSON(w, http.StatusOK, ProtoFinishResponse{
 			Index: s.index,
 			Qual:  res.Qual,
 			Group: group.Marshal(),
 		})
 	}
+}
+
+// persistTenant writes a tenant's new key material through to durable
+// storage: the legacy Persist hook fires for the default group, and the
+// registry keystore (a no-op when memory-only) covers every tenant.
+func (s *Signer) persistTenant(tn *signerTenant, g *core.Group, sk *core.PrivateKeyShare) error {
+	if tn.id == DefaultGroupID && s.persist != nil {
+		if err := s.persist(g, sk); err != nil {
+			return err
+		}
+	}
+	return s.reg.SaveMember(tn.id, g, sk)
 }

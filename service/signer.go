@@ -2,13 +2,16 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/service/registry"
 )
 
 // SignerConfig bounds the signer's concurrency. Partial signing costs two
@@ -43,14 +46,26 @@ type signerState struct {
 	share *core.PrivateKeyShare
 }
 
-// Signer serves one private key share over HTTP. It is an http.Handler:
+// Signer serves private key shares over HTTP — one share per tenant
+// group, all under the daemon's single player index. It is an
+// http.Handler:
 //
 //	POST /v1/sign       {"message": base64} -> PartialResponse
 //	POST /v1/sign-batch {"messages": [base64...]} -> PartialBatchResponse
 //	GET  /v1/pubkey     -> PubkeyResponse
 //	GET  /v1/vk         -> VKResponse (this signer's own key)
-//	GET  /healthz       -> HealthResponse
+//	GET  /v1/groups     -> GroupsResponse (every registered tenant)
+//	GET  /healthz       -> HealthResponse (process liveness)
+//	GET  /readyz        -> ReadyResponse (per-group key state)
 //	POST /v1/proto/{dkg|refresh}/{start|step|finish} -> protocol sessions
+//	DELETE /v1/g/{groupID} -> GroupDeleteResponse (tombstone the tenant)
+//
+// Every /v1/* route above also exists group-namespaced as
+// /v1/g/{groupID}/...; the un-namespaced form is an alias for the
+// "default" group, so pre-tenancy clients keep working unchanged. A
+// tenant other than the default is minted by running a DKG against its
+// ID (see session.go); its key material lives in the registry's
+// per-tenant keystore and is faulted back in on demand.
 //
 // Share-Sign is deterministic and needs no peer interaction, so the
 // Signer keeps no per-request state and any number of replicas of the
@@ -67,13 +82,33 @@ type Signer struct {
 	cfg   SignerConfig
 
 	// persist, when set, writes new key material through before it is
-	// installed (the tsigd keyfile hook).
+	// installed (the tsigd keyfile hook). It fires for the DEFAULT group
+	// only; other tenants persist through the registry's keystores.
 	persist func(*core.Group, *core.PrivateKeyShare) error
 
-	proto    *protoHost
+	proto      *protoHost
+	sessionTTL time.Duration
+
+	// reg is the tenant registry; def is the always-hot default tenant,
+	// aliasing the state/proto fields above so the legacy single-group
+	// surface and the namespaced one act on the same material.
+	reg      *registry.Registry
+	tenantMu sync.Mutex // serializes tenant minting and hot-cache fills
+	def      *signerTenant
+
 	workers  chan struct{} // semaphore: MaxWorkers slots
 	inflight atomic.Int64  // requests holding or waiting for a slot
 	mux      *http.ServeMux
+}
+
+// signerTenant is one tenant's live state on a signer: the key material
+// and the protocol-session host. The default tenant aliases the
+// Signer's own state/proto fields; others live in the registry's hot
+// LRU and are rebuilt from their keystore when faulted back in.
+type signerTenant struct {
+	id    string
+	state *atomic.Pointer[signerState]
+	proto *protoHost
 }
 
 // NewSigner builds a signer for one share of the given group.
@@ -94,11 +129,19 @@ type DaemonConfig struct {
 	Group *core.Group
 	Share *core.PrivateKeyShare
 	// Persist, when set, is called with new key material (after keygen or
-	// refresh) before it is installed; a failure keeps the old state.
+	// refresh) before it is installed; a failure keeps the old state. It
+	// applies to the default group only — other tenants persist through
+	// Registry.
 	Persist func(*core.Group, *core.PrivateKeyShare) error
 	// SessionTTL bounds how long an untouched protocol session survives
 	// (default DefaultSessionTTL).
 	SessionTTL time.Duration
+	// Registry is the multi-tenant group registry (tsigd -keystore-dir).
+	// Nil means a memory-only registry: tenants can still be minted over
+	// the wire, but nothing survives a restart. When file-backed and no
+	// explicit Group/Share is given, the default group's key material is
+	// loaded from its keystore.
+	Registry *registry.Registry
 }
 
 // NewDaemonSigner builds a signer daemon from the full configuration.
@@ -121,40 +164,217 @@ func NewDaemonSigner(cfg DaemonConfig) (*Signer, error) {
 	if index < 1 {
 		return nil, fmt.Errorf("service: a keyless daemon needs a positive player index")
 	}
-	s := &Signer{
-		index:   index,
-		cfg:     cfg.Signer.withDefaults(),
-		persist: cfg.Persist,
-		proto:   newProtoHost(cfg.SessionTTL),
+	reg := cfg.Registry
+	if reg == nil {
+		var err error
+		if reg, err = registry.Open(registry.Config{}); err != nil {
+			return nil, err
+		}
 	}
+	s := &Signer{
+		index:      index,
+		cfg:        cfg.Signer.withDefaults(),
+		persist:    cfg.Persist,
+		proto:      newProtoHost(cfg.SessionTTL),
+		sessionTTL: cfg.SessionTTL,
+		reg:        reg,
+	}
+	s.def = &signerTenant{id: registry.DefaultGroup, state: &s.state, proto: s.proto}
 	if cfg.Group != nil {
 		s.state.Store(&signerState{group: cfg.Group, share: cfg.Share})
+		// Adopt file-provided key material into the keystore: a later
+		// restart from -keystore-dir alone (no -group/-share) must keep
+		// serving the default group, and the manifest record written
+		// below would otherwise claim a readiness the keystore can't
+		// back. No-op for memory-only registries.
+		if err := reg.SaveMember(registry.DefaultGroup, cfg.Group, cfg.Share); err != nil {
+			return nil, fmt.Errorf("service: adopting default group into the keystore: %w", err)
+		}
+	} else if m, err := reg.LoadMember(registry.DefaultGroup, index); err == nil {
+		s.state.Store(&signerState{group: m.Group(), share: m.PrivateShare()})
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("service: loading default keystore: %w", err)
+	}
+	if err := syncDefaultRecord(reg, s.Group()); err != nil {
+		return nil, err
 	}
 	s.workers = make(chan struct{}, s.cfg.MaxWorkers)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/sign", s.handleSign)
-	s.mux.HandleFunc("POST /v1/sign-batch", s.handleSignBatch)
-	s.mux.HandleFunc("GET /v1/pubkey", s.handlePubkey)
-	s.mux.HandleFunc("GET /v1/vk", s.handleVK)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	for _, proto := range []string{ProtoDKG, ProtoRefresh} {
-		s.mux.HandleFunc("POST /v1/proto/"+proto+"/start", s.handleProtoStart(proto))
-		s.mux.HandleFunc("POST /v1/proto/"+proto+"/step", s.handleProtoStep(proto))
-		s.mux.HandleFunc("POST /v1/proto/"+proto+"/finish", s.handleProtoFinish(proto))
-	}
-	// Any other method on a known path is answered 405 + Allow with a
-	// JSON body, not the mux's plain-text default.
-	s.mux.HandleFunc("/v1/sign", methodNotAllowed(http.MethodPost))
-	s.mux.HandleFunc("/v1/sign-batch", methodNotAllowed(http.MethodPost))
-	s.mux.HandleFunc("/v1/pubkey", methodNotAllowed(http.MethodGet))
-	s.mux.HandleFunc("/v1/vk", methodNotAllowed(http.MethodGet))
-	s.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
-	for _, proto := range []string{ProtoDKG, ProtoRefresh} {
-		for _, ep := range []string{"start", "step", "finish"} {
-			s.mux.HandleFunc("/v1/proto/"+proto+"/"+ep, methodNotAllowed(http.MethodPost))
+	// Every tenant-scoped route exists twice: un-namespaced (the default
+	// group — the pre-tenancy surface, byte-identical) and namespaced
+	// under /v1/g/{gid}. PathValue("gid") is "" on the former, which the
+	// tenant resolver maps to the default group.
+	for _, pre := range []string{"/v1", "/v1/g/{gid}"} {
+		s.mux.HandleFunc("POST "+pre+"/sign", s.forTenant(s.handleSign))
+		s.mux.HandleFunc("POST "+pre+"/sign-batch", s.forTenant(s.handleSignBatch))
+		s.mux.HandleFunc("GET "+pre+"/pubkey", s.forTenant(s.handlePubkey))
+		s.mux.HandleFunc("GET "+pre+"/vk", s.forTenant(s.handleVK))
+		for _, proto := range []string{ProtoDKG, ProtoRefresh} {
+			s.mux.HandleFunc("POST "+pre+"/proto/"+proto+"/start", s.handleProtoStart(proto))
+			s.mux.HandleFunc("POST "+pre+"/proto/"+proto+"/step", s.handleProtoStep(proto))
+			s.mux.HandleFunc("POST "+pre+"/proto/"+proto+"/finish", s.handleProtoFinish(proto))
+		}
+		// Any other method on a known path is answered 405 + Allow with a
+		// JSON body, not the mux's plain-text default.
+		s.mux.HandleFunc(pre+"/sign", methodNotAllowed(http.MethodPost))
+		s.mux.HandleFunc(pre+"/sign-batch", methodNotAllowed(http.MethodPost))
+		s.mux.HandleFunc(pre+"/pubkey", methodNotAllowed(http.MethodGet))
+		s.mux.HandleFunc(pre+"/vk", methodNotAllowed(http.MethodGet))
+		for _, proto := range []string{ProtoDKG, ProtoRefresh} {
+			for _, ep := range []string{"start", "step", "finish"} {
+				s.mux.HandleFunc(pre+"/proto/"+proto+"/"+ep, methodNotAllowed(http.MethodPost))
+			}
 		}
 	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /v1/groups", s.handleGroups)
+	s.mux.HandleFunc("DELETE /v1/g/{gid}", s.handleGroupDelete)
+	s.mux.HandleFunc("/v1/g/{gid}", methodNotAllowed(http.MethodDelete))
+	s.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/readyz", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/v1/groups", methodNotAllowed(http.MethodGet))
 	return s, nil
+}
+
+// syncDefaultRecord reconciles the registry's default-group record with
+// the key material the daemon actually holds, creating it on first run.
+// An existing epoch is preserved (the registry survives restarts and
+// counts keygens across them); a keyed daemon whose record still says
+// epoch 0 — legacy keystore, fresh registry — is bumped to 1.
+func syncDefaultRecord(reg *registry.Registry, g *core.Group) error {
+	rec, ok := reg.Get(registry.DefaultGroup)
+	rec.ID = registry.DefaultGroup
+	if g != nil {
+		rec.Domain, rec.N, rec.T = g.Domain, g.N, g.T
+		if rec.Epoch == 0 {
+			rec.Epoch = 1
+		}
+	} else if !ok {
+		rec.Epoch = 0
+	}
+	return reg.Put(rec)
+}
+
+// tenant resolves a group ID (the empty string aliases the default
+// group) to its live state, faulting cold tenants in from their
+// keystores. With create set — used only by the DKG-start path — an
+// unknown ID is registered as a new keyless tenant instead of answering
+// ErrUnknownGroup. Tombstoned IDs always answer ErrGroupDeleted.
+func (s *Signer) tenant(gid string, create bool) (*signerTenant, error) {
+	if gid == "" || gid == registry.DefaultGroup {
+		if rec, ok := s.reg.Get(registry.DefaultGroup); ok && rec.Deleted {
+			return nil, fmt.Errorf("service: group %q is tombstoned: %w", registry.DefaultGroup, ErrGroupDeleted)
+		}
+		return s.def, nil
+	}
+	if err := registry.ValidateID(gid); err != nil {
+		return nil, err
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	rec, ok := s.reg.Get(gid)
+	if ok && rec.Deleted {
+		return nil, fmt.Errorf("service: group %q is tombstoned: %w", gid, ErrGroupDeleted)
+	}
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("service: group %q is not registered (mint it with a keygen run): %w", gid, ErrUnknownGroup)
+		}
+		if err := s.reg.Put(registry.Record{ID: gid}); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := s.reg.HotGet(gid); ok {
+		return v.(*signerTenant), nil
+	}
+	tn := &signerTenant{id: gid, state: new(atomic.Pointer[signerState]), proto: newProtoHost(s.sessionTTL)}
+	if m, err := s.reg.LoadMember(gid, s.index); err == nil {
+		tn.state.Store(&signerState{group: m.Group(), share: m.PrivateShare()})
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("service: loading keystore for group %q: %w", gid, err)
+	}
+	s.reg.HotPut(gid, tn)
+	return tn, nil
+}
+
+// forTenant adapts a tenant-scoped handler onto the mux: it resolves
+// {gid} (or the default group on the un-namespaced routes) and rejects
+// unknown, invalid, and tombstoned IDs before the handler runs.
+func (s *Signer) forTenant(h func(*signerTenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn, err := s.tenant(r.PathValue("gid"), false)
+		if err != nil {
+			writeGroupError(w, err)
+			return
+		}
+		h(tn, w, r)
+	}
+}
+
+// writeGroupError renders a tenant-resolution failure: 404 for unknown
+// IDs, 410 for tombstones, 400 for malformed IDs, 500 otherwise.
+func writeGroupError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownGroup):
+		writeErrorCode(w, http.StatusNotFound, CodeUnknownGroup, err.Error())
+	case errors.Is(err, ErrGroupDeleted):
+		writeErrorCode(w, http.StatusGone, CodeGroupDeleted, err.Error())
+	case errors.Is(err, registry.ErrInvalidID):
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	default:
+		writeErrorCode(w, http.StatusInternalServerError, CodeBackend, err.Error())
+	}
+}
+
+// groupInfos summarizes every registered tenant for /v1/groups and
+// /readyz. Readiness comes from the registry record — registered, not
+// tombstoned, at least one completed keygen.
+func groupInfos(reg *registry.Registry) (infos []GroupInfo, anyReady bool) {
+	recs := reg.List()
+	infos = make([]GroupInfo, 0, len(recs))
+	for _, rec := range recs {
+		ready := !rec.Deleted && rec.Epoch > 0
+		anyReady = anyReady || ready
+		infos = append(infos, GroupInfo{
+			ID: rec.ID, Domain: rec.Domain, N: rec.N, T: rec.T,
+			Epoch: rec.Epoch, Deleted: rec.Deleted, Ready: ready,
+		})
+	}
+	return infos, anyReady
+}
+
+func (s *Signer) handleGroups(w http.ResponseWriter, _ *http.Request) {
+	infos, _ := groupInfos(s.reg)
+	writeJSON(w, http.StatusOK, GroupsResponse{Groups: infos})
+}
+
+func (s *Signer) handleReady(w http.ResponseWriter, _ *http.Request) {
+	infos, ready := groupInfos(s.reg)
+	status, state := http.StatusOK, "ready"
+	if !ready {
+		status, state = http.StatusServiceUnavailable, "unready"
+	}
+	writeJSON(w, status, ReadyResponse{Status: state, Index: s.index, Groups: infos})
+}
+
+// handleGroupDelete tombstones a tenant. Deletion is permanent and the
+// ID is never reusable; the keystore files stay on disk (revocation,
+// not shredding). Deleting an unknown ID records a tombstone too, so
+// the ID cannot be minted afterwards. Idempotent.
+func (s *Signer) handleGroupDelete(w http.ResponseWriter, r *http.Request) {
+	gid := r.PathValue("gid")
+	if err := registry.ValidateID(gid); err != nil {
+		writeGroupError(w, err)
+		return
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if err := s.reg.Tombstone(gid); err != nil {
+		writeErrorCode(w, http.StatusInternalServerError, CodeBackend, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, GroupDeleteResponse{ID: gid})
 }
 
 // Index returns the signer's 1-based server index.
@@ -169,10 +389,10 @@ func (s *Signer) Group() *core.Group {
 	return nil
 }
 
-// keyed loads the signer's key material, answering 503/no_key_material
+// keyed loads the tenant's key material, answering 503/no_key_material
 // when there is none yet.
-func (s *Signer) keyed(w http.ResponseWriter) (*signerState, bool) {
-	st := s.state.Load()
+func (tn *signerTenant) keyed(w http.ResponseWriter) (*signerState, bool) {
+	st := tn.state.Load()
 	if st == nil {
 		writeErrorCode(w, http.StatusServiceUnavailable, CodeNoKey,
 			"signer holds no key material yet (run the distributed keygen)")
@@ -183,7 +403,7 @@ func (s *Signer) keyed(w http.ResponseWriter) (*signerState, bool) {
 
 func (s *Signer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
+func (s *Signer) handleSign(tn *signerTenant, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -196,7 +416,7 @@ func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "missing message")
 		return
 	}
-	st, ok := s.keyed(w)
+	st, ok := tn.keyed(w)
 	if !ok {
 		return
 	}
@@ -223,7 +443,7 @@ func (s *Signer) handleSign(w http.ResponseWriter, r *http.Request) {
 // returned the moment the batch is signed; under load the non-blocking
 // grabs find none and the batch degrades to sequential signing on its
 // own slot.
-func (s *Signer) handleSignBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Signer) handleSignBatch(tn *signerTenant, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -244,7 +464,7 @@ func (s *Signer) handleSignBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st, ok := s.keyed(w)
+	st, ok := tn.keyed(w)
 	if !ok {
 		return
 	}
@@ -336,8 +556,8 @@ func (s *Signer) acquireWorker(w http.ResponseWriter, r *http.Request) (release 
 	}
 }
 
-func (s *Signer) handlePubkey(w http.ResponseWriter, _ *http.Request) {
-	st, ok := s.keyed(w)
+func (s *Signer) handlePubkey(tn *signerTenant, w http.ResponseWriter, _ *http.Request) {
+	st, ok := tn.keyed(w)
 	if !ok {
 		return
 	}
@@ -346,8 +566,8 @@ func (s *Signer) handlePubkey(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Signer) handleVK(w http.ResponseWriter, _ *http.Request) {
-	st, ok := s.keyed(w)
+func (s *Signer) handleVK(tn *signerTenant, w http.ResponseWriter, _ *http.Request) {
+	st, ok := tn.keyed(w)
 	if !ok {
 		return
 	}
