@@ -88,10 +88,11 @@ func (c *Client) transport() Transport {
 // machine-readable wire code, and the server's message. It unwraps to
 // the matching tsig sentinel error when the code names one.
 type APIError struct {
-	Path    string // request path, e.g. "/v1/sign"
-	Status  int    // HTTP status code
-	Code    string // wire code (service.Code* constant), possibly empty
-	Message string // server's human-readable message
+	Path      string // request path, e.g. "/v1/sign"
+	Status    int    // HTTP status code
+	Code      string // wire code (service.Code* constant), possibly empty
+	Message   string // server's human-readable message
+	RequestID string // the server's X-Request-ID echo, for log correlation
 }
 
 func (e *APIError) Error() string {
@@ -355,6 +356,13 @@ func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any
 }
 
 func (c *Client) doJSON(req *http.Request, out any) error {
+	// Propagate a caller-chosen request id (service.WithRequestID) so one
+	// trace id follows the request through the coordinator's logs and its
+	// fan-out to the signers; without one the coordinator generates its
+	// own and echoes it back in the response header and body.
+	if rid := service.RequestIDFromContext(req.Context()); rid != "" {
+		req.Header.Set(service.HeaderRequestID, rid)
+	}
 	resp, err := c.transport().Do(req)
 	if err != nil {
 		return err
@@ -365,7 +373,10 @@ func (c *Client) doJSON(req *http.Request, out any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Path: req.URL.Path, Status: resp.StatusCode}
+		apiErr := &APIError{
+			Path: req.URL.Path, Status: resp.StatusCode,
+			RequestID: resp.Header.Get(service.HeaderRequestID),
+		}
 		var er service.ErrorResponse
 		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
 			apiErr.Code = er.Code

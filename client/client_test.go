@@ -262,3 +262,56 @@ func TestClientByzantineQuorumError(t *testing.T) {
 		t.Fatalf("want ErrInsufficientShares carried across the wire, got %v", err)
 	}
 }
+
+// TestClientRequestIDPropagation: a caller-chosen request id rides the
+// outbound request, comes back in the signing receipt, and is attached
+// to API errors for log correlation.
+func TestClientRequestIDPropagation(t *testing.T) {
+	group, _ := fixture(t)
+	base := startService(t, service.CoordinatorConfig{})
+	var sawHeader string
+	c := &Client{
+		BaseURL: base,
+		Transport: roundTripperFunc(func(req *http.Request) (*http.Response, error) {
+			sawHeader = req.Header.Get(service.HeaderRequestID)
+			return http.DefaultClient.Do(req)
+		}),
+	}
+	const rid = "cli-trace-0001"
+	ctx := service.WithRequestID(context.Background(), rid)
+
+	msg := []byte("traced through the client")
+	sig, receipt, err := c.Sign(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !group.Verify(msg, sig) {
+		t.Fatal("invalid signature")
+	}
+	if sawHeader != rid {
+		t.Fatalf("outbound %s header = %q, want %q", service.HeaderRequestID, sawHeader, rid)
+	}
+	if receipt.RequestID != rid {
+		t.Fatalf("receipt request id = %q, want %q", receipt.RequestID, rid)
+	}
+
+	// Without a caller-chosen id the coordinator generates one and the
+	// receipt still carries it.
+	_, receipt, err = c.Sign(context.Background(), []byte("auto-id message"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.RequestID == "" {
+		t.Fatal("receipt missing the coordinator-generated request id")
+	}
+
+	// Errors carry the id too.
+	_, _, err = c.Sign(ctx, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.RequestID != rid {
+		t.Fatalf("APIError request id = %q, want %q", apiErr.RequestID, rid)
+	}
+}

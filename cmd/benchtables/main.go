@@ -18,6 +18,12 @@
 // the committed BENCH_core.json at the repo root is produced this way:
 //
 //	benchtables -json BENCH_core.json
+//
+// With -json-service PATH it instead measures the service layer end to
+// end — a loopback signer fleet behind a coordinator, keyed by a DKG
+// over HTTP — and writes the committed BENCH_service.json the same way:
+//
+//	benchtables -json-service BENCH_service.json
 package main
 
 import (
@@ -48,12 +54,19 @@ var (
 	quickFlag = flag.Bool("quick", false, "smaller sweeps and RSA moduli for a fast run")
 	trials    = flag.Int("bias-trials", 20, "trials for the bias-attack experiment")
 	jsonFlag  = flag.String("json", "", "measure the core benchmark families and write them as JSON to this path (skips the tables)")
+	jsonSvc   = flag.String("json-service", "", "measure the service-layer suite over a loopback fleet and write it as JSON to this path (skips the tables)")
 )
 
 func main() {
 	flag.Parse()
 	if *jsonFlag != "" {
 		if err := writeBenchJSON(*jsonFlag); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *jsonSvc != "" {
+		if err := writeServiceBenchJSON(*jsonSvc); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -643,6 +656,11 @@ func writeBenchJSON(path string) error {
 	measure("G1ScalarMult", 20, func() { new(bn254.G1).ScalarMult(p, k) })
 	measure("G2ScalarMult", 10, func() { new(bn254.G2).ScalarMult(q, k) })
 
+	return writeBenchDoc(path, doc)
+}
+
+// writeBenchDoc marshals one suite document to its committed path.
+func writeBenchDoc(path string, doc benchDoc) error {
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,42 @@
+// Command metricslint validates Prometheus text exposition with the
+// service/metrics strict parser: well-formed HELP/TYPE headers, samples
+// matching their declared family, monotone cumulative histogram
+// buckets, no duplicate sample identities. It reads stdin (or the given
+// files) and exits non-zero on the first violation — CI pipes a live
+// /metrics scrape from a loopback fleet through it to keep the
+// exposition format honest:
+//
+//	curl -fsS http://localhost:9090/metrics | metricslint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/service/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string) error {
+	if len(paths) == 0 {
+		return metrics.Lint(os.Stdin)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = metrics.Lint(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -55,8 +55,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -79,6 +80,9 @@ func main() {
 		err = cmdSigner(os.Args[2:])
 	case "coordinator":
 		err = cmdCoordinator(os.Args[2:])
+	case "-version", "--version", "version":
+		b := service.Build()
+		fmt.Printf("tsigd %s %s (%s)\n", b.Version, b.Revision, b.GoVersion)
 	default:
 		usage()
 	}
@@ -89,8 +93,65 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tsigd {signer|coordinator} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tsigd {signer|coordinator|-version} [flags]")
 	os.Exit(2)
+}
+
+// logFlags holds the observability flags shared by both subcommands.
+type logFlags struct {
+	format, level string
+	debugAddr     string
+}
+
+func addLogFlags(fs *flag.FlagSet) *logFlags {
+	lf := &logFlags{}
+	fs.StringVar(&lf.format, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&lf.level, "log-level", "info", "minimum log level: debug, info, warn, error (request-scoped lines log at debug)")
+	fs.StringVar(&lf.debugAddr, "debug-addr", "", "separate listen address for /debug/pprof/ and /metrics (empty disables; /metrics is also on the main listener)")
+	return lf
+}
+
+// logger builds the daemon's slog.Logger from the parsed flags.
+func (lf *logFlags) logger() (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(lf.level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", lf.level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch lf.format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", lf.format)
+	}
+	return slog.New(h), nil
+}
+
+// startDebug serves pprof and the daemon's metrics on a separate
+// listener, keeping the profiling endpoints off the public service port.
+// Best-effort: a debug listener that cannot bind logs and stays down
+// rather than failing the daemon.
+func (lf *logFlags) startDebug(metrics http.Handler, logger *slog.Logger) {
+	if lf.debugAddr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: lf.debugAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug listener failed", "addr", lf.debugAddr, "error", err)
+		}
+	}()
+	logger.Info("debug listener serving pprof and metrics", "addr", lf.debugAddr)
 }
 
 func cmdSigner(args []string) error {
@@ -105,8 +166,13 @@ func cmdSigner(args []string) error {
 	maxBatch := fs.Int("max-batch", 0, "max messages per /v1/sign-batch request (0 = default)")
 	sessionTTL := fs.Duration("session-ttl", 0, "protocol session GC timeout (0 = default 2m)")
 	keystoreDir := fs.String("keystore-dir", "", "multi-tenant keystore directory: persists the group registry and every tenant's key material (without it, non-default tenants live in memory only)")
+	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := lf.logger()
+	if err != nil {
+		return fmt.Errorf("signer: %w", err)
 	}
 
 	cfg := service.DaemonConfig{
@@ -115,6 +181,7 @@ func cmdSigner(args []string) error {
 		},
 		Index:      *index,
 		SessionTTL: *sessionTTL,
+		Logger:     logger,
 	}
 	if *keystoreDir != "" {
 		reg, err := registry.Open(registry.Config{Dir: *keystoreDir})
@@ -150,7 +217,8 @@ func cmdSigner(args []string) error {
 			}
 			cfg.Group, cfg.Share = member.Group(), member.PrivateShare()
 		case errors.Is(err, os.ErrNotExist):
-			log.Printf("tsigd signer %d: no key material in %s yet; waiting for a distributed keygen", *index, *keystore)
+			logger.Info("no key material yet; waiting for a distributed keygen",
+				"component", "signer", "signer", *index, "keystore", *keystore)
 		default:
 			return fmt.Errorf("signer: checking %s: %w", sp, err)
 		}
@@ -180,13 +248,16 @@ func cmdSigner(args []string) error {
 	if err != nil {
 		return err
 	}
+	lf.startDebug(signer.Metrics(), logger)
 	if g := signer.Group(); g != nil {
-		log.Printf("tsigd signer %d/%d (t=%d, domain %q) listening on %s",
-			signer.Index(), g.N, g.T, g.Domain, *listen)
+		logger.Info("signer listening",
+			"component", "signer", "signer", signer.Index(), "addr", *listen,
+			"n", g.N, "t", g.T, "domain", g.Domain)
 	} else {
-		log.Printf("tsigd signer %d (keyless) listening on %s", signer.Index(), *listen)
+		logger.Info("signer listening (keyless)",
+			"component", "signer", "signer", signer.Index(), "addr", *listen)
 	}
-	return serve(*listen, signer)
+	return serve(*listen, signer, logger)
 }
 
 // persistShare writes new key material through to disk via the keyfile
@@ -210,8 +281,13 @@ func cmdCoordinator(args []string) error {
 		"collect concurrent sign requests for this long and fan them out as one batch (0 disables)")
 	maxBatch := fs.Int("max-batch", 0, "max messages per batch (0 = default)")
 	keystoreDir := fs.String("keystore-dir", "", "multi-tenant keystore directory: persists the group registry and every tenant's public group (without it, non-default tenants live in memory only)")
+	lf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := lf.logger()
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
 	}
 	if *signers == "" {
 		return fmt.Errorf("coordinator: -signers is required")
@@ -227,6 +303,7 @@ func cmdCoordinator(args []string) error {
 		PersistGroup: func(g *tsig.Group) error {
 			return tsig.WriteGroup(*groupPath, g)
 		},
+		Logger: logger,
 	}
 	if *keystoreDir != "" {
 		reg, err := registry.Open(registry.Config{Dir: *keystoreDir})
@@ -243,8 +320,9 @@ func cmdCoordinator(args []string) error {
 		if coord, err = service.NewCoordinator(group, urls, cfg); err != nil {
 			return err
 		}
-		log.Printf("tsigd coordinator for n=%d t=%d (domain %q) listening on %s, %d signer backends",
-			group.N, group.T, group.Domain, *listen, len(urls))
+		logger.Info("coordinator listening",
+			"component", "coordinator", "addr", *listen, "backends", len(urls),
+			"n", group.N, "t", group.T, "domain", group.Domain)
 	case errors.Is(err, os.ErrNotExist):
 		// No group yet: start keyless and wait for a remote keygen run
 		// (tsigcli keygen -remote) to produce one; it is persisted to
@@ -252,16 +330,17 @@ func cmdCoordinator(args []string) error {
 		if coord, err = service.NewKeylessCoordinator(urls, cfg); err != nil {
 			return err
 		}
-		log.Printf("tsigd coordinator (keyless, %d signer backends) listening on %s; POST /v1/proto/dkg/run to generate a key",
-			len(urls), *listen)
+		logger.Info("coordinator listening (keyless); POST /v1/proto/dkg/run to generate a key",
+			"component", "coordinator", "addr", *listen, "backends", len(urls))
 	default:
 		return err
 	}
-	return serve(*listen, coord)
+	lf.startDebug(coord.Metrics(), logger)
+	return serve(*listen, coord, logger)
 }
 
 // serve runs an HTTP server until SIGINT/SIGTERM, then drains it.
-func serve(addr string, handler http.Handler) error {
+func serve(addr string, handler http.Handler, logger *slog.Logger) error {
 	srv := &http.Server{Addr: addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -271,7 +350,7 @@ func serve(addr string, handler http.Handler) error {
 	case err := <-errc:
 		return err
 	case s := <-sigc:
-		log.Printf("tsigd: received %v, shutting down", s)
+		logger.Info("received signal, shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

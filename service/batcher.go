@@ -104,7 +104,7 @@ func (b *batcher) join(msg []byte, key cacheKey) *batchItem {
 			// fails exactly as it would unbatched.)
 			full := b.cur
 			b.cur = nil
-			go b.tn.batchFanOut(context.Background(), full.order)
+			go b.send(full.order)
 		}
 	}
 	it := &batchItem{msg: msg, key: key, done: make(chan struct{})}
@@ -120,7 +120,7 @@ func (b *batcher) join(msg []byte, key cacheKey) *batchItem {
 	if len(fb.order) >= b.max {
 		b.cur = nil // full: dispatch now; the window timer becomes a no-op
 		b.mu.Unlock()
-		go b.tn.batchFanOut(context.Background(), fb.order)
+		go b.send(fb.order)
 		return it
 	}
 	b.mu.Unlock()
@@ -136,7 +136,16 @@ func (b *batcher) dispatch(fb *formingBatch) {
 	}
 	b.cur = nil
 	b.mu.Unlock()
-	b.tn.batchFanOut(context.Background(), fb.order)
+	b.send(fb.order)
+}
+
+// send dispatches a closed window batch. The fan-out runs detached from
+// any single caller's context, so it carries a fresh request id of its
+// own — the per-caller ids are answered by the callers' own handlers;
+// the batch's id is what the signers' logs see for the merged trip.
+func (b *batcher) send(items []*batchItem) {
+	b.tn.c.met.windowOccupancy.Observe(float64(len(items)))
+	b.tn.batchFanOut(WithRequestID(context.Background(), newRequestID()), items)
 }
 
 // msgState tracks one in-flight message of a batch fan-out.
@@ -155,6 +164,7 @@ type msgState struct {
 // signer requests are canceled as soon as every message is settled.
 func (tn *coordTenant) batchFanOut(ctx context.Context, items []*batchItem) {
 	c := tn.c
+	fanOutStart := time.Now()
 	// A panic must not strand the batch: an item whose done channel never
 	// closes wedges its flight-group key forever (SignBatch's relay
 	// goroutines block on <-it.done), and on the window batcher's
@@ -257,6 +267,7 @@ func (tn *coordTenant) batchFanOut(ctx context.Context, items []*batchItem) {
 			if ps == nil || ps.Index != r.index {
 				// Undecodable bytes or a replayed share under another index:
 				// Byzantine either way.
+				c.met.shareVerifyFailures.WithLabelValues(signerIndexLabel(r.index)).Inc()
 				st.invalid = append(st.invalid, r.index)
 				continue
 			}
@@ -277,6 +288,7 @@ func (tn *coordTenant) batchFanOut(ctx context.Context, items []*batchItem) {
 		for p, j := range idxs {
 			st := states[j]
 			if bad[p] {
+				c.met.shareVerifyFailures.WithLabelValues(signerIndexLabel(r.index)).Inc()
 				st.invalid = append(st.invalid, r.index)
 				continue
 			}
@@ -287,6 +299,7 @@ func (tn *coordTenant) batchFanOut(ctx context.Context, items []*batchItem) {
 			}
 			st.done = true
 			remaining--
+			c.met.quorumSeconds.Observe(time.Since(fanOutStart).Seconds())
 			sig, err := core.CombinePreverified(st.valid, group.T)
 			if err == nil && !core.Verify(group.PK, items[j].msg, sig) {
 				err = fmt.Errorf("service: combined signature failed verification")
@@ -323,6 +336,7 @@ func (tn *coordTenant) batchFanOut(ctx context.Context, items []*batchItem) {
 // only. Either way the signer's other answers still count.
 func (tn *coordTenant) fetchPartialBatch(ctx context.Context, index int, msgs [][]byte, body []byte) ([]*core.PartialSignature, []error, error) {
 	c := tn.c
+	start := time.Now()
 	bctx, cancel := context.WithTimeout(ctx, c.cfg.SignerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(bctx, http.MethodPost, c.urls[index-1]+tn.prefix()+"/sign-batch", bytes.NewReader(body))
@@ -330,10 +344,16 @@ func (tn *coordTenant) fetchPartialBatch(ctx context.Context, index int, msgs []
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setRequestIDHeader(req, ctx)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
+		if ctx.Err() == nil {
+			c.met.backendErrors.WithLabelValues(signerIndexLabel(index)).Inc()
+			c.markBackendDown(index, err)
+		}
 		return nil, nil, err
 	}
+	c.markBackendUp(index)
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
 	if err != nil {
@@ -347,7 +367,9 @@ func (tn *coordTenant) fetchPartialBatch(ctx context.Context, index int, msgs []
 		// SignerTimeout inside fetchPartial.
 		return tn.fetchPartialsSequentially(ctx, index, msgs)
 	case http.StatusOK:
+		c.met.backendSeconds.WithLabelValues(signerIndexLabel(index)).Observe(time.Since(start).Seconds())
 	default:
+		c.met.backendErrors.WithLabelValues(signerIndexLabel(index)).Inc()
 		return nil, nil, fmt.Errorf("signer %d: status %d: %s", index, resp.StatusCode, bytes.TrimSpace(raw))
 	}
 	var pr PartialBatchResponse

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"repro/service/metrics"
 )
 
 // flightGroup collapses concurrent calls for the same key into a single
@@ -19,6 +21,11 @@ import (
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[cacheKey]*flightCall
+
+	// coalesced counts callers that joined an existing flight; nil-safe,
+	// incremented inside claim so Sign, SignBatch, and the batcher all
+	// count through the one choke point.
+	coalesced *metrics.Counter
 }
 
 type flightCall struct {
@@ -39,6 +46,7 @@ func (g *flightGroup) claim(key cacheKey) (call *flightCall, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if call, ok := g.m[key]; ok {
+		g.coalesced.Inc()
 		return call, false
 	}
 	call = &flightCall{done: make(chan struct{})}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -53,6 +54,10 @@ type CoordinatorConfig struct {
 	// coordinator is constructed keyless, the default group is loaded
 	// from its keystore if present.
 	Registry *registry.Registry
+	// Logger receives the daemon's structured logs (request-scoped lines
+	// at Debug, backend outage edges and protocol runs at Info/Warn).
+	// Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -114,6 +119,13 @@ type Coordinator struct {
 	reg      *registry.Registry
 	tenantMu sync.Mutex // serializes tenant minting and hot-cache fills
 	def      *coordTenant
+
+	met *coordMetrics
+	log *slog.Logger
+	// backendDown[i-1] is the log-flood guard for signer i: connection
+	// errors are logged once per outage transition (the down edge, then
+	// the recovery edge), not once per failing request.
+	backendDown []atomic.Bool
 }
 
 // coordTenant is one tenant's signing state on the coordinator: the
@@ -223,6 +235,17 @@ func newCoordinator(signerURLs []string, cfg CoordinatorConfig) (*Coordinator, e
 		}
 	}
 	c.cache = newSigCache(c.cfg.CacheSize) // nil when disabled
+	c.log = c.cfg.Logger
+	if c.log == nil {
+		c.log = slog.Default()
+	}
+	c.log = c.log.With("component", "coordinator")
+	c.met = newCoordMetrics(c)
+	c.backendDown = make([]atomic.Bool, len(signerURLs))
+	if c.cache != nil {
+		c.cache.hits, c.cache.misses = c.met.cacheHits, c.met.cacheMisses
+	}
+	c.flight.coalesced = c.met.coalesced
 	c.def = newCoordTenant(c, DefaultGroupID, &c.group)
 	c.mux = http.NewServeMux()
 	// Every tenant-scoped route exists un-namespaced (the default group,
@@ -244,6 +267,8 @@ func newCoordinator(signerURLs []string, cfg CoordinatorConfig) (*Coordinator, e
 	}
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /readyz", c.handleReady)
+	c.mux.Handle("GET /metrics", c.met.reg)
+	c.mux.HandleFunc("/metrics", methodNotAllowed(http.MethodGet))
 	c.mux.HandleFunc("GET /v1/groups", c.handleGroups)
 	c.mux.HandleFunc("DELETE /v1/g/{gid}", c.handleGroupDelete)
 	c.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
@@ -319,7 +344,19 @@ func (c *Coordinator) forTenant(h func(*coordTenant, http.ResponseWriter, *http.
 // key material exists (keyless coordinators before their first keygen).
 func (c *Coordinator) Group() *core.Group { return c.group.Load() }
 
-func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+// Metrics returns the coordinator's metric registry as an http.Handler
+// (Prometheus text exposition), for mounting on a separate debug
+// listener; the same registry serves GET /metrics on the main mux.
+func (c *Coordinator) Metrics() http.Handler { return c.met.reg }
+
+// ServeHTTP adopts (or generates) the request's X-Request-ID, stashes it
+// in the context for every downstream log line and fan-out, echoes it in
+// the response header, and dispatches.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r, rid := ensureRequestID(r)
+	w.Header().Set(HeaderRequestID, rid)
+	c.mux.ServeHTTP(w, r)
+}
 
 // Sign produces the default group's threshold signature on msg,
 // consulting the cache, coalescing with concurrent identical requests,
@@ -340,6 +377,18 @@ func (c *Coordinator) SignGroup(ctx context.Context, gid string, msg []byte) (*c
 }
 
 func (tn *coordTenant) sign(ctx context.Context, msg []byte) (*core.Signature, SignReport, error) {
+	c := tn.c
+	c.met.requests.WithLabelValues(tn.id).Inc()
+	start := time.Now()
+	sig, report, err := tn.signUncounted(ctx, msg)
+	c.met.signSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.met.errors.WithLabelValues(tn.id).Inc()
+	}
+	return sig, report, err
+}
+
+func (tn *coordTenant) signUncounted(ctx context.Context, msg []byte) (*core.Signature, SignReport, error) {
 	c := tn.c
 	if len(msg) == 0 {
 		return nil, SignReport{}, ErrEmptyMessage
@@ -389,6 +438,7 @@ func (tn *coordTenant) sign(ctx context.Context, msg []byte) (*core.Signature, S
 // valid shares. The group view is captured once, so a concurrent refresh
 // cannot hand one request a mix of old and new verification keys.
 func (tn *coordTenant) fanOut(ctx context.Context, msg []byte) (*signOutcome, error) {
+	fanOutStart := time.Now()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -429,12 +479,14 @@ func (tn *coordTenant) fanOut(ctx context.Context, msg []byte) (*signOutcome, er
 		case r.ps.Index != r.index || !core.ShareVerify(group.PK, group.VKs[r.index], msg, r.ps):
 			// Wrong index (share replay) or failed pairing check: the
 			// signer is Byzantine. Robustness means we just drop it.
+			tn.c.met.shareVerifyFailures.WithLabelValues(signerIndexLabel(r.index)).Inc()
 			out.invalid = append(out.invalid, r.index)
 		default:
 			valid = append(valid, r.ps)
 			out.signers = append(out.signers, r.index)
 			if len(valid) == need {
 				cancel() // release the laggards
+				tn.c.met.quorumSeconds.Observe(time.Since(fanOutStart).Seconds())
 				sig, err := core.CombinePreverified(valid, group.T)
 				if err != nil {
 					return nil, err
@@ -459,27 +511,42 @@ func (tn *coordTenant) fanOut(ctx context.Context, msg []byte) (*signOutcome, er
 
 // fetchPartial requests one signer's share, bounded by SignerTimeout.
 // body is the serialized SignRequest, marshalled once per fan-out.
-func (tn *coordTenant) fetchPartial(ctx context.Context, index int, body []byte) (*core.PartialSignature, error) {
+func (tn *coordTenant) fetchPartial(parent context.Context, index int, body []byte) (*core.PartialSignature, error) {
 	c := tn.c
-	ctx, cancel := context.WithTimeout(ctx, c.cfg.SignerTimeout)
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(parent, c.cfg.SignerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.urls[index-1]+tn.prefix()+"/sign", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setRequestIDHeader(req, parent)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
+		// A quorum early-exit cancels the laggards; that is not the
+		// backend's failure, so neither the error counter nor the flood
+		// guard should see it.
+		if parent.Err() == nil {
+			c.met.backendErrors.WithLabelValues(signerIndexLabel(index)).Inc()
+			c.markBackendDown(index, err)
+		}
 		return nil, err
 	}
+	c.markBackendUp(index)
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
+		if parent.Err() == nil {
+			c.met.backendErrors.WithLabelValues(signerIndexLabel(index)).Inc()
+		}
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
+		c.met.backendErrors.WithLabelValues(signerIndexLabel(index)).Inc()
 		return nil, fmt.Errorf("signer %d: status %d: %s", index, resp.StatusCode, bytes.TrimSpace(raw))
 	}
+	c.met.backendSeconds.WithLabelValues(signerIndexLabel(index)).Observe(time.Since(start).Seconds())
 	var pr PartialResponse
 	if err := json.Unmarshal(raw, &pr); err != nil {
 		return nil, fmt.Errorf("signer %d: %w", index, err)
@@ -489,6 +556,25 @@ func (tn *coordTenant) fetchPartial(ctx context.Context, index int, body []byte)
 		return nil, fmt.Errorf("signer %d: %w", index, err)
 	}
 	return ps, nil
+}
+
+// markBackendDown drives the log-flood guard's down edge: the first
+// connection error after a healthy period logs once and zeroes the up
+// gauge; repeats during the same outage are silent.
+func (c *Coordinator) markBackendDown(index int, err error) {
+	if c.backendDown[index-1].CompareAndSwap(false, true) {
+		c.met.backendUp.WithLabelValues(signerIndexLabel(index)).Set(0)
+		c.log.Warn("signer backend down", "signer", index, "addr", c.urls[index-1], "error", err)
+	}
+}
+
+// markBackendUp drives the recovery edge: the first successful
+// round-trip after an outage logs once and restores the up gauge.
+func (c *Coordinator) markBackendUp(index int) {
+	if c.backendDown[index-1].CompareAndSwap(true, false) {
+		c.met.backendUp.WithLabelValues(signerIndexLabel(index)).Set(1)
+		c.log.Info("signer backend recovered", "signer", index, "addr", c.urls[index-1])
+	}
 }
 
 // BatchResult is one message's outcome of a SignBatch call. Err is set
@@ -525,6 +611,7 @@ func (c *Coordinator) SignBatchGroup(ctx context.Context, gid string, msgs [][]b
 
 func (tn *coordTenant) signBatch(ctx context.Context, msgs [][]byte) ([]BatchResult, error) {
 	c := tn.c
+	c.met.batchRequests.WithLabelValues(tn.id).Inc()
 	if len(msgs) == 0 {
 		return nil, errors.New("service: empty batch")
 	}
@@ -634,6 +721,8 @@ func (c *Coordinator) handleSign(tn *coordTenant, w http.ResponseWriter, r *http
 		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "missing message")
 		return
 	}
+	rid := RequestIDFromContext(r.Context())
+	c.log.Debug("sign request", "request_id", rid, "gid", tn.id)
 	sig, report, err := tn.sign(r.Context(), req.Message)
 	if err != nil {
 		writeSignError(w, r, err)
@@ -644,6 +733,7 @@ func (c *Coordinator) handleSign(tn *coordTenant, w http.ResponseWriter, r *http
 		Signers:   report.Signers,
 		Cached:    report.Cached,
 		Coalesced: report.Coalesced,
+		RequestID: rid,
 	})
 }
 
@@ -663,12 +753,14 @@ func (c *Coordinator) handleSignBatch(tn *coordTenant, w http.ResponseWriter, r 
 			fmt.Sprintf("batch of %d messages exceeds limit %d", len(req.Messages), c.cfg.MaxBatch))
 		return
 	}
+	rid := RequestIDFromContext(r.Context())
+	c.log.Debug("sign-batch request", "request_id", rid, "gid", tn.id, "messages", len(req.Messages))
 	results, err := tn.signBatch(r.Context(), req.Messages)
 	if err != nil {
 		writeSignError(w, r, err)
 		return
 	}
-	resp := SignBatchResponse{Results: make([]BatchItemResponse, len(results))}
+	resp := SignBatchResponse{Results: make([]BatchItemResponse, len(results)), RequestID: rid}
 	for j, res := range results {
 		if res.Err != nil {
 			resp.Results[j] = BatchItemResponse{Error: res.Err.Error()}
@@ -731,7 +823,10 @@ func (c *Coordinator) handlePubkey(tn *coordTenant, w http.ResponseWriter, _ *ht
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	b := Build()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Version: b.Version, GoVersion: b.GoVersion, Revision: b.Revision,
+	})
 }
 
 func (c *Coordinator) handleGroups(w http.ResponseWriter, _ *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/service/metrics"
 )
 
 // sigCache is a fixed-capacity LRU cache of combined signatures, keyed
@@ -21,6 +22,12 @@ type sigCache struct {
 	cap int
 	ll  *list.List // front = most recently used
 	m   map[cacheKey]*list.Element
+
+	// hits/misses are incremented inside get so every lookup path —
+	// Sign, SignBatch, and the window batcher — is counted once. Both
+	// are nil-safe (tests build bare caches without metrics).
+	hits   *metrics.Counter
+	misses *metrics.Counter
 }
 
 // cacheKey qualifies a message digest with the tenant it was signed
@@ -57,8 +64,10 @@ func (c *sigCache) get(key cacheKey) (*core.Signature, []int, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.misses.Inc()
 		return nil, nil, false
 	}
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	// Defensive copy: callers surface the signer list in SignReport and

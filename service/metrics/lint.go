@@ -1,0 +1,300 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint strictly parses a Prometheus text exposition (version 0.0.4) and
+// returns the first violation found, or nil when the payload is valid.
+// It is deliberately stricter than many scrapers:
+//
+//   - every sample's family must have a preceding # TYPE line, declared
+//     exactly once;
+//   - metric and label names must match the exposition grammar;
+//   - label values must use only the \\, \", and \n escapes;
+//   - sample values must parse as Go floats (or +Inf/-Inf/NaN);
+//   - histogram buckets must be cumulative, le-sorted, and agree with
+//     the _count sample; _count and _sum must both be present;
+//   - duplicate sample lines (same name and label set) are an error.
+//
+// The golden tests and the CI loopback-fleet scrape both run every
+// /metrics response through this, so an exposition-format regression
+// fails the build instead of silently breaking scrapes.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)    // family -> type
+	seen := make(map[string]bool)       // full sample identity -> present
+	hist := make(map[string]*histCheck) // histogram family+labels -> bucket state
+	sampleCount := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := parts[0], parts[1]
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sampleCount++
+		family := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+		}
+		if typ == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %q for histogram family", lineNo, name)
+		}
+		id := name + "|" + labelIdentity(labels)
+		if seen[id] {
+			return fmt.Errorf("line %d: duplicate sample %s", lineNo, id)
+		}
+		seen[id] = true
+		switch typ {
+		case "counter":
+			if value < 0 || math.IsNaN(value) {
+				return fmt.Errorf("line %d: counter %q has negative or NaN value", lineNo, name)
+			}
+		case "histogram":
+			key := family + "|" + labelIdentity(withoutLabel(labels, "le"))
+			hc := hist[key]
+			if hc == nil {
+				hc = &histCheck{lastLe: math.Inf(-1)}
+				hist[key] = hc
+			}
+			switch suffix {
+			case "_bucket":
+				leStr, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				le, err := parseFloat(leStr)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le value %q", lineNo, leStr)
+				}
+				if le <= hc.lastLe {
+					return fmt.Errorf("line %d: histogram %q buckets out of le order", lineNo, family)
+				}
+				if value < hc.lastCum {
+					return fmt.Errorf("line %d: histogram %q buckets not cumulative", lineNo, family)
+				}
+				hc.lastLe, hc.lastCum = le, value
+				if math.IsInf(le, 1) {
+					hc.sawInf, hc.infCum = true, value
+				}
+			case "_sum":
+				hc.sawSum = true
+			case "_count":
+				hc.sawCount, hc.count = true, value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, hc := range hist {
+		family := strings.SplitN(key, "|", 2)[0]
+		if !hc.sawInf {
+			return fmt.Errorf("histogram %q: missing +Inf bucket", family)
+		}
+		if !hc.sawSum || !hc.sawCount {
+			return fmt.Errorf("histogram %q: missing _sum or _count", family)
+		}
+		if hc.count != hc.infCum {
+			return fmt.Errorf("histogram %q: _count %v disagrees with +Inf bucket %v", family, hc.count, hc.infCum)
+		}
+	}
+	if sampleCount == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+type histCheck struct {
+	lastLe, lastCum float64
+	sawInf          bool
+	infCum          float64
+	sawSum          bool
+	sawCount        bool
+	count           float64
+}
+
+type labelPair struct{ name, value string }
+
+func labelValue(labels []labelPair, name string) (string, bool) {
+	for _, lp := range labels {
+		if lp.name == name {
+			return lp.value, true
+		}
+	}
+	return "", false
+}
+
+func withoutLabel(labels []labelPair, name string) []labelPair {
+	out := make([]labelPair, 0, len(labels))
+	for _, lp := range labels {
+		if lp.name != name {
+			out = append(out, lp)
+		}
+	}
+	return out
+}
+
+func labelIdentity(labels []labelPair) string {
+	parts := make([]string, len(labels))
+	for i, lp := range labels {
+		parts[i] = lp.name + "=" + lp.value
+	}
+	// Sorted identity so {a="1",b="2"} == {b="2",a="1"}.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSample parses one sample line: name{labels} value. Timestamps
+// (a third field) are not produced by this package and are rejected.
+func parseSample(line string) (name string, labels []labelPair, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name at %q", line)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && isNameChar(line[j], j == i) {
+				j++
+			}
+			lname := line[i:j]
+			if !validName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name at %q", line[i:])
+			}
+			if j+1 >= len(line) || line[j] != '=' || line[j+1] != '"' {
+				return "", nil, 0, fmt.Errorf("expected =\" after label %q", lname)
+			}
+			j += 2
+			var val strings.Builder
+			for {
+				if j >= len(line) {
+					return "", nil, 0, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch line[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("invalid escape \\%c in label %q", line[j+1], lname)
+					}
+					j += 2
+					continue
+				}
+				val.WriteByte(c)
+				j++
+			}
+			labels = append(labels, labelPair{name: lname, value: val.String()})
+			if j < len(line) && line[j] == ',' {
+				i = j + 1
+				continue
+			}
+			i = j
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", nil, 0, fmt.Errorf("expected space before value in %q", line)
+	}
+	rest := line[i+1:]
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	value, err = parseFloat(rest)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", rest)
+	}
+	return name, labels, value, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,536 @@
+// Package metrics is a dependency-free metrics library for the
+// threshold-signing fleet: counters, gauges, and histograms with bounded
+// label support, exposed in the Prometheus text format (version 0.0.4)
+// over plain stdlib HTTP. The module has zero external dependencies and
+// this package keeps it that way — it implements the subset of the
+// Prometheus client model the service needs, nothing more.
+//
+// Model:
+//
+//   - A Registry owns a set of metric families, each with a unique name,
+//     a type, and help text. Families are registered once, at daemon
+//     construction; registration panics on invalid or duplicate names
+//     (programmer error, like prometheus.MustRegister).
+//   - Counter, Gauge, and Histogram are the scalar instruments. All are
+//     lock-free (atomics) and safe for concurrent use. All methods are
+//     nil-receiver safe, so partially wired test fixtures don't crash.
+//   - CounterVec/GaugeVec/HistogramVec add label dimensions. Cardinality
+//     is BOUNDED: each vec takes a maxCard at registration, and label
+//     combinations beyond it collapse into a single overflow child whose
+//     label values are all "_other" — a misbehaving caller degrades the
+//     metric's resolution, never the process's memory.
+//   - CounterFunc/GaugeFunc sample a callback at scrape time, for values
+//     another subsystem already maintains (queue lengths, cache sizes).
+//
+// Exposition: Registry.WritePrometheus emits the text format; Registry
+// itself is an http.Handler for GET /metrics. Lint (lint.go) is a strict
+// parser of that format, shared by the golden tests and the CI scrape
+// check.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets, in seconds — spanning
+// sub-millisecond share signing up to multi-second protocol rounds.
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// SizeBuckets suit small-count distributions (batch occupancy, rounds).
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// overflowLabel is the label value every dimension of a vec child takes
+// when the vec's cardinality bound is exceeded.
+const overflowLabel = "_other"
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (CAS loop; safe under contention).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram observes a distribution into cumulative buckets. Observe is
+// lock-free: one atomic add for the bucket, one for the count, a CAS
+// loop for the float sum.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bucket whose upper bound holds v.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// vec is the shared labeled-children machinery behind the *Vec types.
+type vec struct {
+	labels  []string
+	maxCard int
+
+	mu       sync.Mutex
+	children map[string]any
+	order    []string // insertion order, for stable exposition
+	overflow any      // the "_other" child, counted outside maxCard
+}
+
+func newVec(labels []string, maxCard int) *vec {
+	if maxCard <= 0 {
+		maxCard = 1024
+	}
+	return &vec{labels: labels, maxCard: maxCard, children: make(map[string]any)}
+}
+
+// child returns (creating if needed) the child for the label values,
+// collapsing onto the overflow child beyond maxCard. build makes a fresh
+// child instrument.
+func (v *vec) child(vals []string, build func() any) (any, []string) {
+	if len(vals) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels %v", len(vals), len(v.labels), v.labels))
+	}
+	key := strings.Join(vals, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c, vals
+	}
+	if len(v.children) >= v.maxCard {
+		if v.overflow == nil {
+			v.overflow = build()
+		}
+		return v.overflow, repeatLabel(overflowLabel, len(v.labels))
+	}
+	c := build()
+	v.children[key] = c
+	v.order = append(v.order, key)
+	return c, vals
+}
+
+func repeatLabel(val string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = val
+	}
+	return out
+}
+
+// snapshot returns every child with its label values, overflow last.
+func (v *vec) snapshot() (children []any, labelVals [][]string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, key := range v.order {
+		children = append(children, v.children[key])
+		labelVals = append(labelVals, strings.Split(key, "\x00"))
+	}
+	if v.overflow != nil {
+		children = append(children, v.overflow)
+		labelVals = append(labelVals, repeatLabel(overflowLabel, len(v.labels)))
+	}
+	return children, labelVals
+}
+
+// CounterVec is a counter family with label dimensions.
+type CounterVec struct{ v *vec }
+
+// WithLabelValues returns the child counter for the label values.
+func (cv *CounterVec) WithLabelValues(vals ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	c, _ := cv.v.child(vals, func() any { return new(Counter) })
+	return c.(*Counter)
+}
+
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ v *vec }
+
+// WithLabelValues returns the child gauge for the label values.
+func (gv *GaugeVec) WithLabelValues(vals ...string) *Gauge {
+	if gv == nil {
+		return nil
+	}
+	c, _ := gv.v.child(vals, func() any { return new(Gauge) })
+	return c.(*Gauge)
+}
+
+// HistogramVec is a histogram family with label dimensions; every child
+// shares the family's buckets.
+type HistogramVec struct {
+	v       *vec
+	buckets []float64
+}
+
+// WithLabelValues returns the child histogram for the label values.
+func (hv *HistogramVec) WithLabelValues(vals ...string) *Histogram {
+	if hv == nil {
+		return nil
+	}
+	c, _ := hv.v.child(vals, func() any { return newHistogram(hv.buckets) })
+	return c.(*Histogram)
+}
+
+// family is one registered metric family.
+type family struct {
+	name, help, typ string
+	labels          []string
+
+	// Exactly one of these backs the family.
+	counter     *Counter
+	gauge       *Gauge
+	histogram   *Histogram
+	counterVec  *CounterVec
+	gaugeVec    *GaugeVec
+	histVec     *HistogramVec
+	counterFunc func() uint64
+	gaugeFunc   func() float64
+}
+
+// Registry owns a daemon's metric families and serves GET /metrics.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic("metrics: invalid metric name " + strconv.Quote(f.name))
+	}
+	for _, l := range f.labels {
+		if !validName(l) || strings.Contains(l, ":") || l == "le" {
+			panic("metrics: invalid label name " + strconv.Quote(l) + " on " + f.name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic("metrics: duplicate metric name " + strconv.Quote(f.name))
+	}
+	r.names[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := new(Counter)
+	r.register(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// NewCounterVec registers a labeled counter family whose cardinality is
+// bounded by maxCard (extra label combinations collapse to "_other").
+func (r *Registry) NewCounterVec(name, help string, labels []string, maxCard int) *CounterVec {
+	cv := &CounterVec{v: newVec(labels, maxCard)}
+	r.register(&family{name: name, help: help, typ: "counter", labels: labels, counterVec: cv})
+	return cv
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := new(Gauge)
+	r.register(&family{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// NewGaugeVec registers a labeled gauge family bounded by maxCard.
+func (r *Registry) NewGaugeVec(name, help string, labels []string, maxCard int) *GaugeVec {
+	gv := &GaugeVec{v: newVec(labels, maxCard)}
+	r.register(&family{name: name, help: help, typ: "gauge", labels: labels, gaugeVec: gv})
+	return gv
+}
+
+// NewHistogram registers and returns a histogram with the given bucket
+// upper bounds (nil means DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&family{name: name, help: help, typ: "histogram", histogram: h})
+	return h
+}
+
+// NewHistogramVec registers a labeled histogram family bounded by
+// maxCard; every child shares the buckets (nil means DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, labels []string, maxCard int, buckets []float64) *HistogramVec {
+	hv := &HistogramVec{v: newVec(labels, maxCard), buckets: buckets}
+	r.register(&family{name: name, help: help, typ: "histogram", labels: labels, histVec: hv})
+	return hv
+}
+
+// NewCounterFunc registers a counter sampled from fn at scrape time. fn
+// must be monotonic and safe for concurrent use.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(&family{name: name, help: help, typ: "counter", counterFunc: fn})
+}
+
+// NewGaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge", gaugeFunc: fn})
+}
+
+// SetConstLabels registers a constant gauge of value 1 whose labels carry
+// static metadata — the build-info idiom
+// (tsig_build_info{version="...",revision="..."} 1).
+func (r *Registry) SetConstLabels(name, help string, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]string, len(keys))
+	for i, k := range keys {
+		vals[i] = labels[k]
+	}
+	gv := r.NewGaugeVec(name, help, keys, 1)
+	gv.WithLabelValues(vals...).Set(1)
+}
+
+// formatFloat renders a sample value in exposition syntax.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, `\"`+"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func labelString(names, vals []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeHistogram(b *strings.Builder, name string, names, vals []string, h *Histogram) {
+	cum := uint64(0)
+	bnames := append(append([]string(nil), names...), "le")
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		bvals := append(append([]string(nil), vals...), formatFloat(ub))
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelString(bnames, bvals), cum)
+	}
+	cum += h.counts[len(h.upper)].Load()
+	bvals := append(append([]string(nil), vals...), "+Inf")
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelString(bnames, bvals), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelString(names, vals), formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelString(names, vals), h.Count())
+}
+
+// WritePrometheus renders every family in the text exposition format.
+func (r *Registry) WritePrometheus(b *strings.Builder) {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(b, "%s %d\n", f.name, f.counter.Value())
+		case f.gauge != nil:
+			fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.gauge.Value()))
+		case f.histogram != nil:
+			writeHistogram(b, f.name, nil, nil, f.histogram)
+		case f.counterFunc != nil:
+			fmt.Fprintf(b, "%s %d\n", f.name, f.counterFunc())
+		case f.gaugeFunc != nil:
+			fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.gaugeFunc()))
+		case f.counterVec != nil:
+			children, labelVals := f.counterVec.v.snapshot()
+			for i, c := range children {
+				fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, labelVals[i]), c.(*Counter).Value())
+			}
+		case f.gaugeVec != nil:
+			children, labelVals := f.gaugeVec.v.snapshot()
+			for i, c := range children {
+				fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, labelVals[i]), formatFloat(c.(*Gauge).Value()))
+			}
+		case f.histVec != nil:
+			children, labelVals := f.histVec.v.snapshot()
+			for i, c := range children {
+				writeHistogram(b, f.name, f.labels, labelVals[i], c.(*Histogram))
+			}
+		}
+	}
+}
+
+// ServeHTTP serves the exposition (GET /metrics).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTestRegistry populates one of every instrument kind, including
+// awkward label values that exercise the escaping rules.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "Total requests.")
+	c.Inc()
+	c.Add(41)
+	g := r.NewGauge("test_inflight", "Requests in flight.")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	h := r.NewHistogram("test_latency_seconds", "Request latency.", DefBuckets)
+	for _, v := range []float64{0.0001, 0.003, 0.003, 0.2, 42} {
+		h.Observe(v)
+	}
+	cv := r.NewCounterVec("test_group_requests_total", "Per-group requests.", []string{"group", "result"}, 8)
+	cv.WithLabelValues("default", "ok").Add(7)
+	cv.WithLabelValues(`we"ird\group`+"\n", "error").Inc()
+	gv := r.NewGaugeVec("test_backend_up", "Backend liveness.", []string{"signer"}, 8)
+	gv.WithLabelValues("1").Set(1)
+	gv.WithLabelValues("2").Set(0)
+	hv := r.NewHistogramVec("test_backend_seconds", "Per-backend latency.", []string{"signer"}, 8, []float64{0.01, 0.1, 1})
+	hv.WithLabelValues("1").Observe(0.05)
+	hv.WithLabelValues("2").Observe(2)
+	r.NewCounterFunc("test_rewrites_total", "Sampled counter.", func() uint64 { return 13 })
+	r.NewGaugeFunc("test_tenants", "Sampled gauge.", func() float64 { return 2 })
+	r.SetConstLabels("test_build_info", "Build info.", map[string]string{
+		"version": "v1.2.3", "revision": "abcdef",
+	})
+	return r
+}
+
+// TestExpositionGolden parses every line of the exposition and validates
+// the type/label syntax with the strict linter, then spot-checks the
+// rendered samples.
+func TestExpositionGolden(t *testing.T) {
+	r := buildTestRegistry()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+
+	if err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition failed lint: %v\n%s", err, text)
+	}
+
+	for _, want := range []string{
+		"# TYPE test_requests_total counter",
+		"test_requests_total 42",
+		"# TYPE test_inflight gauge",
+		"test_inflight 3",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.0005"} 1`,
+		`test_latency_seconds_bucket{le="0.005"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		"test_latency_seconds_count 5",
+		`test_group_requests_total{group="default",result="ok"} 7`,
+		`test_group_requests_total{group="we\"ird\\group\n",result="error"} 1`,
+		`test_backend_up{signer="2"} 0`,
+		`test_backend_seconds_bucket{signer="1",le="0.1"} 1`,
+		`test_backend_seconds_bucket{signer="2",le="1"} 0`,
+		`test_backend_seconds_bucket{signer="2",le="+Inf"} 1`,
+		"test_rewrites_total 13",
+		"test_tenants 2",
+		`test_build_info{revision="abcdef",version="v1.2.3"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") && !strings.HasSuffix(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+
+	// Every non-comment line must be a well-formed sample; every sample
+	// family must carry exactly one TYPE line before its samples.
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, _, _, err := parseSample(line); err != nil {
+			t.Errorf("unparseable sample line %q: %v", line, err)
+		}
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := buildTestRegistry()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := Lint(rec.Body); err != nil {
+		t.Fatalf("served exposition failed lint: %v", err)
+	}
+}
+
+// TestHistogramConcurrent hammers ONE histogram from 64 goroutines; run
+// under -race this is the data-race check for the lock-free Observe
+// path, and the totals check catches lost updates.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	const goroutines = 64
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(g)
+	}
+	// Concurrent scrapes while observations are in flight.
+	r := NewRegistry()
+	r.register(&family{name: "hammer_seconds", help: "h", typ: "histogram", histogram: h})
+	for s := 0; s < 8; s++ {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+	}
+	wg.Wait()
+
+	if got, want := h.Count(), uint64(goroutines*perG); got != want {
+		t.Fatalf("lost updates: count = %d, want %d", got, want)
+	}
+	var wantSum float64
+	for i := 0; i < perG; i++ {
+		wantSum += float64(i%100) / 100
+	}
+	wantSum *= goroutines
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if err := Lint(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("post-hammer exposition failed lint: %v", err)
+	}
+}
+
+// TestVecCardinalityBound proves label cardinality cannot grow past
+// maxCard: the overflow child absorbs everything beyond the bound.
+func TestVecCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("bounded_total", "b", []string{"tenant"}, 4)
+	for i := 0; i < 100; i++ {
+		cv.WithLabelValues(fmt.Sprintf("tenant-%d", i)).Inc()
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	if err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	samples := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "bounded_total{") {
+			samples++
+		}
+	}
+	if samples != 5 { // 4 real children + 1 overflow
+		t.Fatalf("got %d sample lines, want 5 (4 + overflow)\n%s", samples, text)
+	}
+	if !strings.Contains(text, `bounded_total{tenant="_other"} 96`) {
+		t.Fatalf("overflow child missing or wrong:\n%s", text)
+	}
+	// The same label values keep hitting their existing child.
+	cv.WithLabelValues("tenant-0").Inc()
+	if got := cv.WithLabelValues("tenant-0").Value(); got != 2 {
+		t.Fatalf("tenant-0 = %d, want 2", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.WithLabelValues("x").Inc()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "d")
+	for name, fn := range map[string]func(){
+		"duplicate name": func() { r.NewCounter("dup_total", "d") },
+		"invalid name":   func() { r.NewCounter("0bad", "d") },
+		"le label":       func() { r.NewHistogramVec("h_seconds", "d", []string{"le"}, 4, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	for name, text := range map[string]string{
+		"no type":          "foo_total 1\n",
+		"bad label syntax": "# TYPE foo_total counter\nfoo_total{x=1} 1\n",
+		"bad value":        "# TYPE foo_total counter\nfoo_total one\n",
+		"negative counter": "# TYPE foo_total counter\nfoo_total -1\n",
+		"dup sample":       "# TYPE foo_total counter\nfoo_total 1\nfoo_total 2\n",
+		"dup type":         "# TYPE foo_total counter\n# TYPE foo_total counter\nfoo_total 2\n",
+		"non-cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n",
+		"missing inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"empty": "",
+	} {
+		if err := Lint(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", name)
+		}
+	}
+}

@@ -102,6 +102,7 @@ func (p *remotePeer) post(ctx context.Context, endpoint string, body, out any) e
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setRequestIDHeader(req, ctx)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return err
@@ -265,6 +266,33 @@ type protoOutcome struct {
 // be strictly beyond their recorded epoch.
 func (tn *coordTenant) runProto(ctx context.Context, proto string, n, t int, domain string, groupHash []byte, epoch uint64) (*protoOutcome, *ProtoReport, error) {
 	c := tn.c
+	start := time.Now()
+	out, report, err := tn.runProtoInner(ctx, proto, n, t, domain, groupHash, epoch)
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case ctx.Err() != nil:
+		outcome = "canceled"
+	default:
+		outcome = "failed"
+	}
+	c.met.protoRuns.WithLabelValues(proto, outcome).Inc()
+	c.met.protoRunSeconds.WithLabelValues(proto).Observe(time.Since(start).Seconds())
+	log := c.log.With("request_id", RequestIDFromContext(ctx), "gid", tn.id, "proto", proto)
+	if report != nil {
+		c.met.protoRounds.WithLabelValues(proto).Add(uint64(report.Rounds))
+		log = log.With("session", report.Session, "rounds", report.Rounds, "crashed", len(report.Crashed))
+	}
+	if err != nil {
+		log.Warn("protocol run failed", "outcome", outcome, "error", err)
+	} else {
+		log.Info("protocol run complete", "qual", len(report.Qual))
+	}
+	return out, report, err
+}
+
+func (tn *coordTenant) runProtoInner(ctx context.Context, proto string, n, t int, domain string, groupHash []byte, epoch uint64) (*protoOutcome, *ProtoReport, error) {
+	c := tn.c
 	session, err := newSessionID()
 	if err != nil {
 		return nil, nil, err
@@ -301,6 +329,13 @@ func (tn *coordTenant) runProto(ctx context.Context, proto string, n, t int, dom
 	if runReport != nil {
 		report.Rounds = runReport.Rounds
 		report.Crashed = runReport.FailedIDs()
+		// Export the engine's traffic accounting: these are the paper's
+		// communication-complexity numbers, observed on the live fleet.
+		st := runReport.Stats
+		c.met.protoBcastMsgs.WithLabelValues(proto).Add(uint64(st.BroadcastMessages))
+		c.met.protoUniMsgs.WithLabelValues(proto).Add(uint64(st.UnicastMessages))
+		c.met.protoBcastBytes.WithLabelValues(proto).Add(uint64(st.BroadcastBytes))
+		c.met.protoUniBytes.WithLabelValues(proto).Add(uint64(st.UnicastBytes))
 	}
 	if err != nil {
 		// A canceled or deadline-expired run is the caller's doing, not a

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/keyfile"
@@ -110,6 +111,11 @@ type Registry struct {
 	records map[string]Record
 	hot     map[string]*list.Element
 	hotLRU  *list.List // front = most recently used
+
+	// Observability counters, exported through Stats.
+	hotHits          atomic.Uint64
+	hotMisses        atomic.Uint64
+	manifestRewrites atomic.Uint64
 }
 
 type hotEntry struct {
@@ -250,7 +256,21 @@ func (r *Registry) persistLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("registry: %w", err)
 	}
+	r.manifestRewrites.Add(1)
 	return nil
+}
+
+// Stats reports the registry's observability counters: hot-cache hits
+// and misses, and completed manifest rewrites.
+func (r *Registry) Stats() (hotHits, hotMisses, manifestRewrites uint64) {
+	return r.hotHits.Load(), r.hotMisses.Load(), r.manifestRewrites.Load()
+}
+
+// Len reports the number of registered records, tombstones included.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
 }
 
 // HotGet returns the hot per-tenant state for id, refreshing its LRU
@@ -260,8 +280,10 @@ func (r *Registry) HotGet(id string) (any, bool) {
 	defer r.mu.Unlock()
 	el, ok := r.hot[id]
 	if !ok {
+		r.hotMisses.Add(1)
 		return nil, false
 	}
+	r.hotHits.Add(1)
 	r.hotLRU.MoveToFront(el)
 	return el.Value.(*hotEntry).v, true
 }

@@ -75,9 +75,10 @@ type PartialResponse struct {
 // bytes plus quorum accounting.
 type SignatureResponse struct {
 	Signature []byte `json:"signature"`
-	Signers   []int  `json:"signers"`             // indices whose shares were combined
-	Cached    bool   `json:"cached,omitempty"`    // served from the signature cache
-	Coalesced bool   `json:"coalesced,omitempty"` // rode an in-flight duplicate
+	Signers   []int  `json:"signers"`              // indices whose shares were combined
+	Cached    bool   `json:"cached,omitempty"`     // served from the signature cache
+	Coalesced bool   `json:"coalesced,omitempty"`  // rode an in-flight duplicate
+	RequestID string `json:"request_id,omitempty"` // trace id, also in the X-Request-ID header
 }
 
 // SignBatchRequest is the body of POST /v1/sign-batch on both signer and
@@ -106,7 +107,8 @@ type BatchItemResponse struct {
 // SignBatchResponse is the coordinator's answer to POST /v1/sign-batch:
 // Results[j] corresponds to Messages[j] of the request.
 type SignBatchResponse struct {
-	Results []BatchItemResponse `json:"results"`
+	Results   []BatchItemResponse `json:"results"`
+	RequestID string              `json:"request_id,omitempty"` // trace id, also in the X-Request-ID header
 }
 
 // PubkeyResponse describes the group on GET /v1/pubkey: the domain label
@@ -130,6 +132,10 @@ type HealthResponse struct {
 	Status   string `json:"status"`
 	Index    int    `json:"index,omitempty"`    // signer only
 	Inflight int    `json:"inflight,omitempty"` // signer: requests holding or waiting for a worker
+	// Build identity of the serving binary (see Build).
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
 }
 
 // GroupInfo describes one registered tenant on GET /v1/groups and in

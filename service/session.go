@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dkg"
 	"repro/internal/engine"
+	"repro/service/metrics"
 )
 
 // This file is the signer-side session layer of the networked protocol
@@ -199,22 +200,24 @@ const DefaultSessionTTL = 2 * time.Minute
 // protoHost hosts a signer daemon's protocol sessions: at most one per
 // protocol kind, TTL-evicted when a driver disappears mid-run.
 type protoHost struct {
-	mu       sync.Mutex
-	sessions map[string]*protoSession // keyed by protocol kind
-	ttl      time.Duration
-	now      func() time.Time
-	factory  playerFactory
+	mu        sync.Mutex
+	sessions  map[string]*protoSession // keyed by protocol kind
+	ttl       time.Duration
+	now       func() time.Time
+	factory   playerFactory
+	evictions *metrics.Counter // nil-safe; shared across a daemon's tenants
 }
 
-func newProtoHost(ttl time.Duration) *protoHost {
+func newProtoHost(ttl time.Duration, evictions *metrics.Counter) *protoHost {
 	if ttl <= 0 {
 		ttl = DefaultSessionTTL
 	}
 	return &protoHost{
-		sessions: make(map[string]*protoSession),
-		ttl:      ttl,
-		now:      time.Now,
-		factory:  honestPlayerFactory,
+		sessions:  make(map[string]*protoSession),
+		ttl:       ttl,
+		now:       time.Now,
+		factory:   honestPlayerFactory,
+		evictions: evictions,
 	}
 }
 
@@ -224,6 +227,7 @@ func (h *protoHost) gc() {
 	for proto, sess := range h.sessions {
 		if sess.lastUsed.Before(cutoff) {
 			delete(h.sessions, proto)
+			h.evictions.Inc()
 		}
 	}
 }
@@ -366,7 +370,9 @@ func (s *Signer) handleProtoStart(proto string) http.HandlerFunc {
 		// Round 0 runs before the session is published, so a concurrent
 		// step can never reach a half-initialized state machine; create()
 		// makes the fully-initialized session visible atomically.
+		stepStart := time.Now()
 		out, err := sess.player.Step(0, nil)
+		s.met.stepSeconds.Observe(time.Since(stepStart).Seconds())
 		if err != nil {
 			writeErrorCode(w, http.StatusInternalServerError, CodeProtoFailed, err.Error())
 			return
@@ -376,6 +382,10 @@ func (s *Signer) handleProtoStart(proto string) http.HandlerFunc {
 			writeErrorCode(w, http.StatusConflict, CodeConflict, err.Error())
 			return
 		}
+		s.met.sessionStarts.WithLabelValues(proto).Inc()
+		s.log.Debug("protocol session started",
+			"request_id", RequestIDFromContext(r.Context()),
+			"gid", tn.id, "proto", proto, "session", req.Session, "n", req.N, "t", req.T)
 		writeJSON(w, http.StatusOK, ProtoStartResponse{
 			Messages: toWireMessages(out),
 			Done:     sess.player.Done(),
@@ -425,7 +435,10 @@ func (s *Signer) handleProtoStep(proto string) http.HandlerFunc {
 				delivered = append(delivered, m)
 			}
 		}
+		stepStart := time.Now()
 		out, err := sess.player.Step(req.Round, delivered)
+		s.met.stepSeconds.Observe(time.Since(stepStart).Seconds())
+		s.met.sessionSteps.WithLabelValues(proto).Inc()
 		if err != nil {
 			sess.failed = true
 			writeErrorCode(w, http.StatusInternalServerError, CodeProtoFailed, err.Error())
@@ -530,6 +543,10 @@ func (s *Signer) handleProtoFinish(proto string) http.HandlerFunc {
 		}
 		tn.state.Store(&signerState{group: group, share: share})
 		delete(tn.proto.sessions, proto)
+		s.met.sessionFinishes.WithLabelValues(proto).Inc()
+		s.log.Info("protocol session finished, key material installed",
+			"request_id", RequestIDFromContext(r.Context()),
+			"gid", tn.id, "proto", proto, "session", req.Session, "epoch", rec.Epoch)
 		writeJSON(w, http.StatusOK, ProtoFinishResponse{
 			Index: s.index,
 			Qual:  res.Qual,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -99,6 +100,9 @@ type Signer struct {
 	workers  chan struct{} // semaphore: MaxWorkers slots
 	inflight atomic.Int64  // requests holding or waiting for a slot
 	mux      *http.ServeMux
+
+	met *signerMetrics
+	log *slog.Logger
 }
 
 // signerTenant is one tenant's live state on a signer: the key material
@@ -142,6 +146,9 @@ type DaemonConfig struct {
 	// explicit Group/Share is given, the default group's key material is
 	// loaded from its keystore.
 	Registry *registry.Registry
+	// Logger receives the daemon's structured logs (request-scoped lines
+	// at Debug, lifecycle at Info). Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // NewDaemonSigner builds a signer daemon from the full configuration.
@@ -175,10 +182,16 @@ func NewDaemonSigner(cfg DaemonConfig) (*Signer, error) {
 		index:      index,
 		cfg:        cfg.Signer.withDefaults(),
 		persist:    cfg.Persist,
-		proto:      newProtoHost(cfg.SessionTTL),
 		sessionTTL: cfg.SessionTTL,
 		reg:        reg,
+		log:        cfg.Logger,
 	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.log = s.log.With("component", "signer", "signer", index)
+	s.met = newSignerMetrics(s)
+	s.proto = newProtoHost(cfg.SessionTTL, s.met.sessionEvictions)
 	s.def = &signerTenant{id: registry.DefaultGroup, state: &s.state, proto: s.proto}
 	if cfg.Group != nil {
 		s.state.Store(&signerState{group: cfg.Group, share: cfg.Share})
@@ -229,13 +242,20 @@ func NewDaemonSigner(cfg DaemonConfig) (*Signer, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/groups", s.handleGroups)
+	s.mux.Handle("GET /metrics", s.met.reg)
 	s.mux.HandleFunc("DELETE /v1/g/{gid}", s.handleGroupDelete)
 	s.mux.HandleFunc("/v1/g/{gid}", methodNotAllowed(http.MethodDelete))
 	s.mux.HandleFunc("/healthz", methodNotAllowed(http.MethodGet))
 	s.mux.HandleFunc("/readyz", methodNotAllowed(http.MethodGet))
 	s.mux.HandleFunc("/v1/groups", methodNotAllowed(http.MethodGet))
+	s.mux.HandleFunc("/metrics", methodNotAllowed(http.MethodGet))
 	return s, nil
 }
+
+// Metrics returns the daemon's metric registry as an http.Handler — the
+// same exposition GET /metrics serves, for mounting on a separate debug
+// listener (tsigd -debug-addr).
+func (s *Signer) Metrics() http.Handler { return s.met.reg }
 
 // syncDefaultRecord reconciles the registry's default-group record with
 // the key material the daemon actually holds, creating it on first run.
@@ -288,7 +308,7 @@ func (s *Signer) tenant(gid string, create bool) (*signerTenant, error) {
 	if v, ok := s.reg.HotGet(gid); ok {
 		return v.(*signerTenant), nil
 	}
-	tn := &signerTenant{id: gid, state: new(atomic.Pointer[signerState]), proto: newProtoHost(s.sessionTTL)}
+	tn := &signerTenant{id: gid, state: new(atomic.Pointer[signerState]), proto: newProtoHost(s.sessionTTL, s.met.sessionEvictions)}
 	if m, err := s.reg.LoadMember(gid, s.index); err == nil {
 		tn.state.Store(&signerState{group: m.Group(), share: m.PrivateShare()})
 	} else if !errors.Is(err, os.ErrNotExist) {
@@ -401,9 +421,18 @@ func (tn *signerTenant) keyed(w http.ResponseWriter) (*signerState, bool) {
 	return st, true
 }
 
-func (s *Signer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Signer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r, rid := ensureRequestID(r)
+	w.Header().Set(HeaderRequestID, rid)
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Signer) handleSign(tn *signerTenant, w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.signSeconds.Observe(time.Since(start).Seconds()) }()
+	s.met.requests.WithLabelValues(tn.id, "sign").Inc()
+	s.log.Debug("sign request",
+		"request_id", RequestIDFromContext(r.Context()), "gid", tn.id)
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -444,12 +473,17 @@ func (s *Signer) handleSign(tn *signerTenant, w http.ResponseWriter, r *http.Req
 // grabs find none and the batch degrades to sequential signing on its
 // own slot.
 func (s *Signer) handleSignBatch(tn *signerTenant, w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.signBatchSeconds.Observe(time.Since(start).Seconds()) }()
+	s.met.requests.WithLabelValues(tn.id, "sign_batch").Inc()
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req SignBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("malformed request: %v", err))
 		return
 	}
+	s.log.Debug("sign-batch request",
+		"request_id", RequestIDFromContext(r.Context()), "gid", tn.id, "messages", len(req.Messages))
 	if len(req.Messages) == 0 {
 		writeErrorCode(w, http.StatusBadRequest, CodeEmptyMessage, "empty batch")
 		return
@@ -468,6 +502,7 @@ func (s *Signer) handleSignBatch(tn *signerTenant, w http.ResponseWriter, r *htt
 	if !ok {
 		return
 	}
+	s.met.batchMessages.Observe(float64(len(req.Messages)))
 	release, ok := s.acquireWorker(w, r)
 	if !ok {
 		return
@@ -539,6 +574,7 @@ grab:
 func (s *Signer) acquireWorker(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	if s.inflight.Add(1) > int64(s.cfg.MaxWorkers+s.cfg.MaxQueue) {
 		s.inflight.Add(-1)
+		s.met.shed.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeErrorCode(w, http.StatusServiceUnavailable, CodeOverloaded, "signer overloaded")
 		return nil, false
@@ -577,8 +613,10 @@ func (s *Signer) handleVK(tn *signerTenant, w http.ResponseWriter, _ *http.Reque
 }
 
 func (s *Signer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	b := Build()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status: "ok", Index: s.index, Inflight: int(s.inflight.Load()),
+		Version: b.Version, GoVersion: b.GoVersion, Revision: b.Revision,
 	})
 }
 

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Request tracing: every request entering a daemon gets an X-Request-ID.
+// The coordinator generates one when the client did not send its own,
+// propagates it through the fan-out to the signers (and through the
+// protocol-session driver), and echoes it back in the response header
+// and body — so one signing request is traceable across the whole fleet
+// by grepping the daemons' logs for a single id.
+
+// HeaderRequestID is the trace header carried end to end: client ->
+// coordinator -> signers, and back on every response.
+const HeaderRequestID = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request id; the client
+// package and the coordinator's fan-out attach it to outbound requests.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the context's request id, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns a fresh 16-hex-character id. crypto/rand failure
+// is not worth failing a signing request over; the reserved all-zero id
+// still traces, it is just not unique.
+func newRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// validRequestID accepts inbound ids of 1..64 characters from
+// [a-zA-Z0-9._-] — anything else (oversized, control characters, header
+// injection attempts) is replaced with a generated id rather than echoed
+// back into responses and logs.
+func validRequestID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// setRequestIDHeader propagates the context's request id onto an
+// outbound request, when one is present.
+func setRequestIDHeader(req *http.Request, ctx context.Context) {
+	if rid := RequestIDFromContext(ctx); rid != "" {
+		req.Header.Set(HeaderRequestID, rid)
+	}
+}
+
+// ensureRequestID adopts the inbound X-Request-ID (generating one when
+// absent or invalid), stashes it in the request context, and returns the
+// id. Both daemons call this at the top of ServeHTTP.
+func ensureRequestID(r *http.Request) (*http.Request, string) {
+	id := r.Header.Get(HeaderRequestID)
+	if !validRequestID(id) {
+		id = newRequestID()
+	}
+	return r.WithContext(WithRequestID(r.Context(), id)), id
+}

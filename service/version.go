@@ -1,0 +1,49 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the module version (when built
+// with `go install module@version`), the Go toolchain, and the VCS
+// revision stamped by the Go tool. It rides /healthz on both daemons, the
+// tsig_build_info metric, and `tsigd -version`.
+type BuildInfo struct {
+	Version   string `json:"version"`            // module version, "(devel)" for tree builds
+	GoVersion string `json:"go_version"`         // runtime.Version()
+	Revision  string `json:"revision,omitempty"` // VCS commit, "-dirty" suffix on a modified tree
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	var revision string
+	var modified bool
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if revision != "" && modified {
+		revision += "-dirty"
+	}
+	b.Revision = revision
+	return b
+})
+
+// Build returns the binary's build information (computed once).
+func Build() BuildInfo { return buildOnce() }
