@@ -1,0 +1,126 @@
+// Command tsiglint machine-checks this repository's crypto and service
+// invariants with the zero-dependency analysis engine in
+// internal/analysis: no secret share ever reaches a formatting or
+// logging sink, crypto packages draw entropy from crypto/rand only,
+// sentinel errors and wire codes stay in lockstep between service and
+// client, every codec is paired and length-checked, no lock is held
+// across a blocking wait in the serving layer, metric labels stay
+// bounded, and no request-scoped code mints a root context.
+//
+// Usage:
+//
+//	tsiglint [-json] [-tests] [-only analyzer,...] [dir|./...]
+//
+// tsiglint always analyzes the whole module enclosing the given
+// directory (the analyzers check cross-package invariants, so partial
+// loads would lie); "./..." is accepted as a conventional spelling of
+// "the module here". Findings print as file:line:col: [analyzer]
+// message, or as one JSON object with -json — the same shape and exit
+// codes as metricslint, so CI scripts both tools identically:
+//
+//	exit 0  no findings
+//	exit 1  findings reported
+//	exit 2  usage or load/type-check failure
+//
+// Findings can be waived only by a narrow directive with a mandatory
+// reason — //tsiglint:ignore <analyzer> <reason> — and never for the
+// secretflow and randsource analyzers outside test files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tsiglint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	dir := "."
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
+		if dir == "./..." || dir == "..." {
+			dir = "."
+		}
+		dir = filepath.Clean(dir)
+	}
+	analyzers, err := analysis.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsiglint:", err)
+		return 2
+	}
+	mod, err := analysis.Load(dir, analysis.LoadConfig{IncludeTests: *tests})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsiglint:", err)
+		return 2
+	}
+	diags := analysis.Run(mod, analyzers)
+	// Report module-relative paths: stable across checkouts, clickable in
+	// CI logs.
+	for i := range diags {
+		if rel, err := filepath.Rel(mod.Dir, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+	if *jsonOut {
+		writeJSON(os.Stdout, "tsiglint", diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the wire shape shared with metricslint: both linters
+// emit {"tool", "count", "findings": [{file, line, col, analyzer,
+// message}]} so one CI script consumes either.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Tool     string        `json:"tool"`
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+func writeJSON(w *os.File, tool string, diags []analysis.Diagnostic) {
+	rep := jsonReport{Tool: tool, Count: len(diags), Findings: make([]jsonFinding, 0, len(diags))}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}

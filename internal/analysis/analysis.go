@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects the whole module (so
+// cross-package invariants are first-class) and reports findings through
+// the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's run over one module.
+type Pass struct {
+	Module   *Module
+	Analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SecretFlow,
+		RandSource,
+		WireCodeParity,
+		CodecParity,
+		LockHold,
+		MetricLabels,
+		CtxScope,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("secretflow,lockhold")
+// against the full suite.
+func ByName(list string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if list == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// directiveRE matches the narrow ignore directive:
+//
+//	//tsiglint:ignore <analyzer> <reason...>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+var directiveRE = regexp.MustCompile(`^//tsiglint:ignore(?:\s+([A-Za-z][A-Za-z0-9_-]*))?\s*(.*)$`)
+
+// directive is one parsed //tsiglint:ignore comment.
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+// strictAnalyzers may never be silenced outside test files: their
+// findings in production code are fixed, not waived. (The secrecy and
+// entropy invariants ARE the paper's security model.)
+var strictAnalyzers = map[string]bool{
+	"secretflow": true,
+	"randsource": true,
+}
+
+// collectDirectives parses every //tsiglint:ignore comment in the module
+// and appends policy violations (missing reason, unknown analyzer,
+// strict analyzer silenced in non-test code) to diags.
+func collectDirectives(m *Module, diags *[]Diagnostic) []directive {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	report := func(pos token.Position, format string, args ...any) {
+		*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "directive", Message: fmt.Sprintf(format, args...)})
+	}
+	var out []directive
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					match := directiveRE.FindStringSubmatch(c.Text)
+					if match == nil {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					name, reason := match[1], strings.TrimSpace(match[2])
+					switch {
+					case name == "":
+						report(pos, "malformed directive: want //tsiglint:ignore <analyzer> <reason>")
+						continue
+					case !known[name]:
+						report(pos, "directive names unknown analyzer %q", name)
+						continue
+					case reason == "":
+						report(pos, "directive for %q has no reason; the reason string is mandatory", name)
+						continue
+					case strictAnalyzers[name] && !strings.HasSuffix(pos.Filename, "_test.go"):
+						report(pos, "%s findings may not be ignored in non-test code; fix the flow instead", name)
+						continue
+					}
+					out = append(out, directive{analyzer: name, reason: reason, file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores drops diagnostics matched by a directive on the same line
+// or on the line directly above (a directive on its own line covers the
+// next line).
+func applyIgnores(diags []Diagnostic, dirs []directive) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	covered := make(map[key]bool, 2*len(dirs))
+	for _, d := range dirs {
+		covered[key{d.file, d.line, d.analyzer}] = true
+		covered[key{d.file, d.line + 1, d.analyzer}] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "directive" && covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Run executes the analyzers over the module and returns the surviving
+// diagnostics sorted by position.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Module: m, Analyzer: a, diags: &diags})
+	}
+	dirs := collectDirectives(m, &diags)
+	diags = applyIgnores(diags, dirs)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ---- shared AST/type helpers used by the analyzers ----
+
+// calleeFunc resolves the *types.Func a call invokes (static calls and
+// method calls; nil for builtins, function values, and type conversions).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to ("" for builtins and method expressions on unnamed types).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvNamed returns the named type of a method's receiver, unwrapping
+// pointers; nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// namedPath returns "importpath.TypeName" for a named type.
+func namedPath(n *types.Named) string {
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// eachFuncBody visits every function and method body of a package,
+// including function literals, with the enclosing declaration's name.
+func eachFuncBody(pkg *Package, visit func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd.Name.Name, fd, fd.Body)
+		}
+	}
+}
+
+// isTestFile reports whether pos is in a _test.go file.
+func (m *Module) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(m.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CodecParity keeps the binary codec surface total and defensive. Every
+// exported Marshal producer in a codec package must have a decoding
+// counterpart — otherwise a type can be persisted or put on the wire but
+// never loaded back, which is how one-way schema drift starts — and the
+// counterpart must be a real parser: it must length-check its input and
+// type its failures with ErrInvalidEncoding so callers (and fuzzers) can
+// distinguish corrupt bytes from everything else.
+//
+// Scope: packages that can see ErrInvalidEncoding — the ones that
+// declare (or alias) it, plus the ones importing the core package that
+// does. Low-level curve packages with their own error discipline are
+// deliberately out of scope.
+var CodecParity = &Analyzer{
+	Name: "codec-parity",
+	Doc:  "every exported Marshal must have a length-checked, ErrInvalidEncoding-typed Unmarshal",
+	Run:  runCodecParity,
+}
+
+func runCodecParity(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		if !codecScoped(p.Module, pkg) {
+			continue
+		}
+		p.checkCodecPackage(pkg)
+	}
+}
+
+// codecScoped reports whether the codec invariant applies to pkg: it
+// declares/aliases ErrInvalidEncoding or imports a module package that
+// declares it.
+func codecScoped(m *Module, pkg *Package) bool {
+	if pkg.Types.Scope().Lookup("ErrInvalidEncoding") != nil {
+		return true
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if strings.HasPrefix(imp.Path(), m.Path) && imp.Scope().Lookup("ErrInvalidEncoding") != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkCodecPackage(pkg *Package) {
+	// Collect the package's function/method declarations by name.
+	funcs := make(map[string]*ast.FuncDecl)              // top-level functions
+	methods := make(map[string]map[string]*ast.FuncDecl) // recv type -> name -> decl
+	for _, f := range pkg.Files {
+		if p.Module.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				funcs[fd.Name.Name] = fd
+				continue
+			}
+			recv := recvTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			if methods[recv] == nil {
+				methods[recv] = make(map[string]*ast.FuncDecl)
+			}
+			methods[recv][fd.Name.Name] = fd
+		}
+	}
+
+	check := func(marshal *ast.FuncDecl, base string) {
+		// Counterpart: func UnmarshalBase(...) or method (T).Unmarshal /
+		// (T).UnmarshalBinary in the same package.
+		var counter *ast.FuncDecl
+		if fd, ok := funcs["Unmarshal"+base]; ok && fd.Name.IsExported() {
+			counter = fd
+		} else if ms := methods[base]; ms != nil {
+			for _, name := range []string{"Unmarshal", "UnmarshalBinary"} {
+				if fd, ok := ms[name]; ok {
+					counter = fd
+					break
+				}
+			}
+		}
+		if counter == nil {
+			p.Reportf(marshal.Pos(), "exported %s has no decoding counterpart (want Unmarshal%s or a (%s).Unmarshal method): the codec surface must stay total",
+				codecName(marshal), base, base)
+			return
+		}
+		if !p.decoderIsDefensive(pkg, counter, make(map[*ast.FuncDecl]bool)) {
+			p.Reportf(counter.Pos(), "%s does not both length-check its input and type failures with ErrInvalidEncoding: corrupt bytes must fail closed with a typed error",
+				codecName(counter))
+		}
+	}
+
+	for name, fd := range funcs {
+		if !fd.Name.IsExported() || !strings.HasPrefix(name, "Marshal") || name == "Marshal" {
+			continue
+		}
+		check(fd, strings.TrimPrefix(name, "Marshal"))
+	}
+	for recv, ms := range methods {
+		if !ast.IsExported(recv) {
+			continue
+		}
+		if fd, ok := ms["Marshal"]; ok && fd.Name.IsExported() {
+			check(fd, recv)
+		}
+	}
+}
+
+// decoderIsDefensive reports whether fn (or a same-package function it
+// calls, one level deep — decoders commonly delegate the byte work to a
+// helper) both length-checks a []byte and references ErrInvalidEncoding.
+func (p *Pass) decoderIsDefensive(pkg *Package, fn *ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
+	if fn.Body == nil || seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	hasLen, hasErr := decoderFacts(pkg, fn)
+	if hasLen && hasErr {
+		return true
+	}
+	// One delegation hop: UnmarshalX may parse via a helper.
+	ok := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ok || len(seen) > 8 {
+			return false
+		}
+		call, okCall := n.(*ast.CallExpr)
+		if !okCall {
+			return true
+		}
+		callee := calleeFunc(pkg, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != pkg.Path {
+			return true
+		}
+		if decl := declOf(pkg, callee); decl != nil {
+			dLen, dErr := decoderFacts(pkg, decl)
+			if (hasLen || dLen) && (hasErr || dErr) {
+				ok = true
+			} else if !seen[decl] && p.decoderIsDefensive(pkg, decl, seen) {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// decoderFacts reports whether the function body length-checks a []byte
+// (a len(...) call on a byte-slice-typed expression) and references an
+// ErrInvalidEncoding sentinel.
+func decoderFacts(pkg *Package, fn *ast.FuncDecl) (hasLen, hasErr bool) {
+	if fn.Body == nil {
+		return false, false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+				if tv, ok := pkg.Info.Types[n.Args[0]]; ok && isByteSlice(tv.Type) {
+					hasLen = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[n]; obj != nil && obj.Name() == "ErrInvalidEncoding" {
+				hasErr = true
+			}
+		}
+		return true
+	})
+	return hasLen, hasErr
+}
+
+// declOf finds the AST declaration of a function object in its package.
+func declOf(pkg *Package, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pkg.Info.Defs[fd.Name]; ok && obj == fn {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the bare receiver type name of a method decl.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// codecName renders "UnmarshalGroup" or "(PublicKey).Marshal" for
+// diagnostics.
+func codecName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil {
+		return fd.Name.Name
+	}
+	return "(" + recvTypeName(fd) + ")." + fd.Name.Name
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

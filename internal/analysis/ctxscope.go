@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxScope forbids minting fresh root contexts inside the serving
+// layer. A context.Background() (or TODO()) in service or client code
+// detaches the work from the request that caused it: cancellation stops
+// propagating, deadlines vanish, and the request-id trace breaks — a
+// signer keeps burning pairings for a caller that hung up long ago.
+// Request-scoped code must thread the caller's ctx; the rare legitimate
+// detachment (work that intentionally outlives its callers, like a
+// window batch serving many requests) must say so explicitly with an
+// ignore directive and a reason, which is the audit trail this analyzer
+// exists to force.
+var CtxScope = &Analyzer{
+	Name: "ctxscope",
+	Doc:  "service/client code must not mint context.Background/TODO; thread the request context",
+	Run:  runCtxScope,
+}
+
+// ctxScopeScope: the serving layer only. Commands and examples are
+// process entry points where a root context is the correct thing.
+var ctxScopeScope = []string{"service", "client"}
+
+func runCtxScope(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, p.Module.Path), "/")
+		inScope := false
+		for _, s := range ctxScopeScope {
+			if rel == s || strings.HasPrefix(rel, s+"/") {
+				inScope = true
+			}
+		}
+		if !inScope {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if p.Module.isTestFile(f.Pos()) {
+				continue // tests are their own roots
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || funcPkgPath(fn) != "context" {
+					return true
+				}
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					p.Reportf(call.Pos(), "context.%s() in %s: request-scoped code must thread the caller's context (intentional detachment needs a //tsiglint:ignore ctxscope <reason> directive)",
+						fn.Name(), pkg.Path)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHold forbids holding a mutex across an operation that can block
+// indefinitely on the outside world: an HTTP round-trip or a channel
+// wait. A coordinator or signer that sleeps on the network while holding
+// a hot-path lock serializes the whole daemon behind its slowest peer —
+// the exact convoy the fan-out architecture exists to avoid — and a
+// channel wait under a lock is one step from a deadlock with whoever
+// must take the same lock to send.
+//
+// The check is intra-procedural and syntactic: within one function body
+// it tracks sync.Mutex/RWMutex Lock/RLock acquisitions (including defer
+// Unlock, which holds to the end of the function) and flags, while any
+// lock is held: channel sends, channel receives, selects without a
+// default, range-over-channel, and calls to HTTP round-trip methods
+// (Client.Do and friends, RoundTrip, any Do(*http.Request) transport).
+// Spawning a goroutine under a lock is fine — the goroutine doesn't
+// hold it.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no mutex may be held across an HTTP round-trip or channel wait in service code",
+	Run:  runLockHold,
+}
+
+// lockHoldScope limits the check to the serving layer, where a convoy is
+// an availability incident. (Prefix-matched against package paths
+// relative to the module root.)
+var lockHoldScope = []string{"service", "client"}
+
+func runLockHold(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, p.Module.Path), "/")
+		inScope := false
+		for _, s := range lockHoldScope {
+			if rel == s || strings.HasPrefix(rel, s+"/") {
+				inScope = true
+			}
+		}
+		if !inScope {
+			continue
+		}
+		eachFuncBody(pkg, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			lh := &lockHoldChecker{p: p, pkg: pkg, fn: name}
+			lh.block(body, map[string]bool{})
+		})
+	}
+}
+
+type lockHoldChecker struct {
+	p   *Pass
+	pkg *Package
+	fn  string
+}
+
+// block scans one block with the set of locks held at entry. held maps
+// the printed lock expression ("b.mu") to true. The scan is sequential:
+// Lock adds, Unlock removes, defer Unlock pins until function end
+// (modeled as: never removed).
+func (c *lockHoldChecker) block(b *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range b.List {
+		c.stmt(stmt, held)
+	}
+}
+
+func (c *lockHoldChecker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if lock, op := c.lockOp(s.X); lock != "" {
+			if op == "lock" {
+				held[lock] = true
+			} else {
+				delete(held, lock)
+			}
+			return
+		}
+		c.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		if lock, op := c.lockOp(s.Call); lock != "" && op == "unlock" {
+			// defer mu.Unlock(): held for the remainder — keep it in the
+			// set; nothing removes it.
+			return
+		}
+		// The deferred call itself runs at return; blocking there is out
+		// of scope for this checker.
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the caller's locks; its body
+		// gets a fresh empty set.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.block(lit.Body, map[string]bool{})
+		}
+	case *ast.SendStmt:
+		c.flagChan(s.Pos(), "channel send", held)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			c.flagChan(s.Pos(), "select with no default", held)
+		}
+		c.block(s.Body, held)
+	case *ast.RangeStmt:
+		if tv, ok := c.pkg.Info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				c.flagChan(s.Pos(), "range over channel", held)
+			}
+		}
+		c.block(s.Body, copyHeld(held))
+	case *ast.BlockStmt:
+		c.block(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		c.block(s.Body, copyHeld(held))
+		if s.Else != nil {
+			c.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		c.block(s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		c.block(s.Body, copyHeld(held))
+	case *ast.TypeSwitchStmt:
+		c.block(s.Body, copyHeld(held))
+	case *ast.CaseClause:
+		for _, st := range s.Body {
+			c.stmt(st, held)
+		}
+	case *ast.CommClause:
+		for _, st := range s.Body {
+			c.stmt(st, held)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, held)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	}
+}
+
+// selectHasDefault reports whether a select has a default clause (and
+// thus cannot block).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k := range held {
+		cp[k] = true
+	}
+	return cp
+}
+
+// checkExpr flags blocking operations inside an expression evaluated
+// while locks are held: channel receives and HTTP round-trip calls.
+func (c *lockHoldChecker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // not evaluated here
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.flagChan(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if name, ok := c.httpRoundTrip(n); ok {
+				c.flag(n.Pos(), "HTTP round-trip "+name, held)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies an expression as a mutex Lock/Unlock call and
+// returns the lock's printed receiver.
+func (c *lockHoldChecker) lockOp(e ast.Expr) (lock, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := c.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || funcPkgPath(fn) != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	return exprString(sel.X), op
+}
+
+// httpRoundTrip reports whether the call is an HTTP round-trip: a
+// net/http package function that performs a request, a method named
+// Do/RoundTrip taking *http.Request, or http.Client convenience
+// methods.
+func (c *lockHoldChecker) httpRoundTrip(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	if funcPkgPath(fn) == "net/http" {
+		switch fn.Name() {
+		case "Get", "Head", "Post", "PostForm":
+			return "http." + fn.Name(), true
+		}
+	}
+	switch fn.Name() {
+	case "Do", "RoundTrip":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 {
+			return "", false
+		}
+		pt, ok := sig.Params().At(0).Type().(*types.Pointer)
+		if !ok {
+			return "", false
+		}
+		if named, ok := pt.Elem().(*types.Named); ok && namedPath(named) == "net/http.Request" {
+			return fn.Name() + "(*http.Request)", true
+		}
+	}
+	return "", false
+}
+
+func (c *lockHoldChecker) flagChan(pos token.Pos, what string, held map[string]bool) {
+	c.flag(pos, what, held)
+}
+
+// flag reports one finding naming the held locks.
+func (c *lockHoldChecker) flag(pos token.Pos, what string, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	locks := make([]string, 0, len(held))
+	for l := range held {
+		locks = append(locks, l)
+	}
+	sort.Strings(locks)
+	c.p.Reportf(pos, "%s while holding %s in %s: a lock must never be held across a blocking wait",
+		what, strings.Join(locks, ", "), c.fn)
+}
+
+// exprString renders a selector chain ("b.mu", "tn.proto.mu") for lock
+// identity; falls back to a placeholder for exotic expressions.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "<lock>"
+}

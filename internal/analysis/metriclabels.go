@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MetricLabels keeps metric cardinality bounded at the source. A label
+// value that echoes raw request bytes — a path segment, a header, a
+// body field — lets every caller mint a new time series, which is a
+// memory-growth denial of service on the daemon and a scrape-size DoS
+// on the collector (the vec-level cardinality cap then collapses real
+// tenants into "_other", destroying the data). So every argument of a
+// WithLabelValues call on a service/metrics vec must come from a
+// bounded set:
+//
+//   - a constant or string literal,
+//   - a call to a *Label renderer (the documented convention for
+//     bounded formatters like signerIndexLabel), or
+//   - any value that is NOT derived, within the function, from the
+//     incoming request (*http.Request selectors/methods or a decoded
+//     request body).
+//
+// The taint tracking is intra-procedural and forward: request-derived
+// values stay tainted through assignments, string conversion and
+// concatenation, and fmt.Sprintf; lookups through a registry or
+// validation switch naturally break the chain, which is exactly the
+// sanctioned way to bound a label (only registered tenants get a
+// series).
+var MetricLabels = &Analyzer{
+	Name: "metriclabels",
+	Doc:  "metric label values must derive from bounded sets, never raw request bytes",
+	Run:  runMetricLabels,
+}
+
+func runMetricLabels(p *Pass) {
+	metricsPath := p.Module.Path + "/service/metrics"
+	for _, pkg := range p.Module.Pkgs {
+		if pkg.Path == metricsPath {
+			continue // the instrument library itself is exempt
+		}
+		eachFuncBody(pkg, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			tainted := requestTaint(pkg, decl)
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Name() != "WithLabelValues" {
+					return true
+				}
+				recv := recvNamed(fn)
+				if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != metricsPath {
+					return true
+				}
+				for i, arg := range call.Args {
+					if isBoundedLabel(pkg, arg) {
+						continue
+					}
+					if taintedExpr(pkg, arg, tainted) {
+						p.Reportf(arg.Pos(), "label value %d of %s.WithLabelValues derives from raw request bytes in %s: label sets must be bounded (validate against a registry or map to constants first)",
+							i+1, recv.Obj().Name(), name)
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// isBoundedLabel accepts the always-safe label forms: constants and
+// *Label renderer calls.
+func isBoundedLabel(pkg *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pkg, call); fn != nil && strings.HasSuffix(fn.Name(), "Label") {
+			return true
+		}
+	}
+	return false
+}
+
+// requestTaint computes the set of local objects in fn that are derived
+// from the incoming request: seeded by expressions rooted at an
+// *http.Request value, grown through assignments whose RHS is tainted.
+func requestTaint(pkg *Package, fn *ast.FuncDecl) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	if fn.Body == nil {
+		return tainted
+	}
+	// Fixpoint over assignments: small bodies, a few passes suffice.
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				// Single-value and parallel assignment: x, y := rhs1, rhs2.
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if taintedExpr(pkg, n.Rhs[i], tainted) {
+							changed = markTainted(pkg, n.Lhs[i], tainted) || changed
+						}
+					}
+				} else if len(n.Rhs) == 1 {
+					// x, err := f(req): a tainted multi-value RHS taints
+					// every LHS.
+					if taintedExpr(pkg, n.Rhs[0], tainted) {
+						for _, lhs := range n.Lhs {
+							changed = markTainted(pkg, lhs, tainted) || changed
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i < len(n.Names) && taintedExpr(pkg, v, tainted) {
+						if obj := pkg.Info.Defs[n.Names[i]]; obj != nil && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return tainted
+}
+
+func markTainted(pkg *Package, lhs ast.Expr, tainted map[types.Object]bool) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pkg.Info.Defs[id]
+	if obj == nil {
+		obj = pkg.Info.Uses[id]
+	}
+	if obj == nil || tainted[obj] {
+		return false
+	}
+	tainted[obj] = true
+	return true
+}
+
+// taintedExpr reports whether e is derived from the request: rooted at
+// an *http.Request value, at a tainted local, or built from tainted
+// parts by string conversion, concatenation, slicing/indexing, or a
+// string-shaping call (fmt.Sprintf, strings.*, string(...)).
+func taintedExpr(pkg *Package, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			if tainted[obj] {
+				return true
+			}
+			return isRequestType(obj.Type())
+		}
+	case *ast.SelectorExpr:
+		// r.URL.Path, r.Header, req.GroupID (a decoded body struct stays
+		// tainted as a whole object).
+		return taintedExpr(pkg, e.X, tainted)
+	case *ast.IndexExpr:
+		return taintedExpr(pkg, e.X, tainted)
+	case *ast.SliceExpr:
+		return taintedExpr(pkg, e.X, tainted)
+	case *ast.StarExpr:
+		return taintedExpr(pkg, e.X, tainted)
+	case *ast.UnaryExpr:
+		return taintedExpr(pkg, e.X, tainted)
+	case *ast.BinaryExpr:
+		return taintedExpr(pkg, e.X, tainted) || taintedExpr(pkg, e.Y, tainted)
+	case *ast.CallExpr:
+		// Method calls ON the request (r.PathValue, r.FormValue) and
+		// string-shaping functions of tainted input propagate; other
+		// calls (registry lookups, validators) intentionally cut taint.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && taintedExpr(pkg, sel.X, tainted) {
+			return true
+		}
+		if fn := calleeFunc(pkg, e); fn != nil && isStringShaper(fn) {
+			for _, arg := range e.Args {
+				if taintedExpr(pkg, arg, tainted) {
+					return true
+				}
+			}
+		}
+		// string(b), []byte(s) conversions.
+		if tv, ok := pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return taintedExpr(pkg, e.Args[0], tainted)
+		}
+	}
+	return false
+}
+
+// isStringShaper: functions that reshape strings without bounding them.
+func isStringShaper(fn *types.Func) bool {
+	switch funcPkgPath(fn) {
+	case "fmt":
+		return strings.HasPrefix(fn.Name(), "Sprint") || strings.HasPrefix(fn.Name(), "Append")
+	case "strings", "bytes":
+		switch fn.Name() {
+		case "ToLower", "ToUpper", "TrimSpace", "Trim", "TrimPrefix", "TrimSuffix",
+			"ReplaceAll", "Replace", "Join", "Clone", "Cut", "Split", "SplitN", "Fields":
+			return true
+		}
+	case "net/url":
+		switch fn.Name() {
+		case "PathEscape", "PathUnescape", "QueryEscape", "QueryUnescape":
+			return true
+		}
+	}
+	return false
+}
+
+// isRequestType reports whether t is *net/http.Request (the taint
+// root).
+func isRequestType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && namedPath(named) == "net/http.Request"
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RandSource pins the entropy source of every crypto package: secrets,
+// nonces, blinding weights, and zero-sharing polynomials must be drawn
+// from crypto/rand. math/rand (v1 or v2) is deterministic and seedable —
+// a time-seeded or default-seeded generator makes every share
+// predictable, which voids the scheme's unforgeability outright — so its
+// very import is banned under internal/, as is seeding anything from the
+// wall clock.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc:  "crypto packages must draw entropy from crypto/rand only",
+	Run:  runRandSource,
+}
+
+// cryptoPkgPrefix scopes the ban: everything under the module's
+// internal/ tree implements or supports the scheme and gets the strict
+// treatment. Service, client, and cmd layers may use math/rand for
+// jitter and sampling — they never touch key material (secretflow
+// guards that separately).
+const cryptoPkgPrefix = "/internal/"
+
+var bannedRandImports = map[string]string{
+	"math/rand":    "deterministic, globally seedable",
+	"math/rand/v2": "deterministic, not CSPRNG-backed",
+}
+
+func runRandSource(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		if !strings.Contains(pkg.Path+"/", cryptoPkgPrefix) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			fname := p.Module.Fset.Position(f.Pos()).Filename
+			isTest := strings.HasSuffix(fname, "_test.go")
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				why, banned := bannedRandImports[path]
+				if !banned {
+					continue
+				}
+				if isTest {
+					// Tests may use deterministic randomness for
+					// reproducible fixtures; the production ban is what
+					// guards the scheme.
+					continue
+				}
+				p.Reportf(spec.Pos(), "crypto package %s imports %s (%s); draw entropy from crypto/rand",
+					pkg.Path, path, why)
+			}
+			// Time-seeded entropy: time.Now() feeding anything named like
+			// a seed is the classic downgrade even without math/rand.
+			if !isTest {
+				p.checkTimeSeeds(pkg, f)
+			}
+		}
+	}
+}
+
+// checkTimeSeeds flags calls whose callee name is Seed/NewSource (any
+// package) with an argument derived from time.Now().
+func (p *Pass) checkTimeSeeds(pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || (fn.Name() != "Seed" && fn.Name() != "NewSource") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesTimeNow(pkg, arg) {
+				p.Reportf(arg.Pos(), "time-seeded entropy in crypto package %s: the wall clock is guessable; use crypto/rand", pkg.Path)
+			}
+		}
+		return true
+	})
+}
+
+// usesTimeNow reports whether the expression contains a time.Now() call.
+func usesTimeNow(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn != nil && fn.Name() == "Now" && funcPkgPath(fn) == "time" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SecretFlow enforces the paper's confidentiality boundary in the type
+// system: a value of a secret type — a private key share, a Shamir or
+// DKG share, a sharing polynomial, an LHSPS private key, or any struct
+// that (transitively) embeds one — must never reach a formatting,
+// logging, or generic-marshaling sink. The sanctioned egress for key
+// material is the canonical codec (Marshal() -> []byte into a keystore
+// writer); everything that turns a secret value into human- or
+// JSON-readable text is a leak: a %v in an error, a share in a slog
+// attribute, a struct response that happens to carry a share field.
+//
+// Sinks: every fmt print/append/Errorf function, log and *log.Logger
+// print functions, slog package-level and *slog.Logger logging calls
+// plus slog.Any/String/Group attribute constructors, testing.T-style
+// log methods, encoding/json Marshal/MarshalIndent and *json.Encoder
+// Encode, and explicit String()/GoString()/MarshalText()/MarshalJSON()
+// calls on a secret receiver. Field-sensitive: selecting a scalar
+// (math/big.Int) out of a secret struct is as secret as the struct.
+var SecretFlow = &Analyzer{
+	Name: "secretflow",
+	Doc:  "secret key material must never reach fmt/log/slog/json or a String method",
+	Run:  runSecretFlow,
+}
+
+// secretRoots names the types that ARE key material. Structs containing
+// them (core.KeyShares, core.Member, dkg.Result, dkg.Outcome, ...) are
+// derived transitively, so a new wrapper struct is covered the moment it
+// grows a secret field.
+var secretRoots = map[string][]string{
+	"repro/internal/core":   {"PrivateKeyShare"},
+	"repro/internal/dkg":    {"Share"},
+	"repro/internal/shamir": {"Share", "Polynomial"},
+	"repro/internal/lhsps":  {"PrivateKey"},
+}
+
+type secretSet struct {
+	roots map[*types.TypeName]bool
+	memo  map[types.Type]bool
+}
+
+// newSecretSet resolves the configured root types against the loaded
+// module. Missing packages (e.g. in a corpus fixture that fakes only one
+// of them) are simply absent.
+func newSecretSet(m *Module) *secretSet {
+	s := &secretSet{
+		roots: make(map[*types.TypeName]bool),
+		memo:  make(map[types.Type]bool),
+	}
+	for pkgPath, names := range secretRoots {
+		pkg := m.Lookup(pkgPath)
+		if pkg == nil {
+			continue
+		}
+		for _, name := range names {
+			if tn, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName); ok {
+				s.roots[tn] = true
+			}
+		}
+	}
+	return s
+}
+
+// isSecret reports whether t is (or transitively contains) key material.
+func (s *secretSet) isSecret(t types.Type) bool {
+	return s.secret(t, make(map[types.Type]bool))
+}
+
+func (s *secretSet) secret(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if v, ok := s.memo[t]; ok {
+		return v
+	}
+	res := s.compute(t, seen)
+	s.memo[t] = res
+	return res
+}
+
+func (s *secretSet) compute(t types.Type, seen map[types.Type]bool) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		if s.roots[t.Obj()] {
+			return true
+		}
+		return s.secret(t.Underlying(), seen)
+	case *types.Alias:
+		return s.secret(types.Unalias(t), seen)
+	case *types.Pointer:
+		return s.secret(t.Elem(), seen)
+	case *types.Slice:
+		return s.secret(t.Elem(), seen)
+	case *types.Array:
+		return s.secret(t.Elem(), seen)
+	case *types.Map:
+		return s.secret(t.Elem(), seen)
+	case *types.Chan:
+		return s.secret(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if s.secret(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isScalar reports whether t is (a pointer/slice of) math/big.Int — the
+// raw scalar representation a secret struct's fields carry.
+func isScalar(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return isScalar(t.Elem())
+	case *types.Slice:
+		return isScalar(t.Elem())
+	case *types.Named:
+		return namedPath(t) == "math/big.Int"
+	}
+	return false
+}
+
+// isSecretExpr reports whether the expression yields key material:
+// either its type is secret, or it selects/indexes a scalar out of a
+// secret value (sk.A1, share[0]).
+func (s *secretSet) isSecretExpr(pkg *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && s.isSecret(tv.Type) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if base, ok := pkg.Info.Types[e.X]; ok && s.isSecret(base.Type) {
+			if tv, ok := pkg.Info.Types[e]; ok && isScalar(tv.Type) {
+				return true
+			}
+		}
+	case *ast.IndexExpr:
+		if base, ok := pkg.Info.Types[e.X]; ok && s.isSecret(base.Type) {
+			if tv, ok := pkg.Info.Types[e]; ok && isScalar(tv.Type) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return s.isSecretExpr(pkg, e.X)
+	case *ast.StarExpr:
+		return s.isSecretExpr(pkg, e.X)
+	}
+	return false
+}
+
+// formatting sinks by package: any call to one of these functions with a
+// secret argument is a finding.
+var sinkFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Sprint": true, "Sprintf": true, "Sprintln": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Append": true, "Appendf": true, "Appendln": true,
+		"Errorf": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+		"Output": true,
+	},
+	"log/slog": {
+		"Debug": true, "DebugContext": true, "Info": true, "InfoContext": true,
+		"Warn": true, "WarnContext": true, "Error": true, "ErrorContext": true,
+		"Log": true, "LogAttrs": true,
+		"Any": true, "String": true, "Group": true, "GroupValue": true, "AnyValue": true, "StringValue": true,
+	},
+	"encoding/json": {
+		"Marshal": true, "MarshalIndent": true,
+	},
+}
+
+// method sinks by receiver type.
+var sinkMethods = map[string]map[string]bool{
+	"log.Logger": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+		"Output": true,
+	},
+	"log/slog.Logger": {
+		"Debug": true, "DebugContext": true, "Info": true, "InfoContext": true,
+		"Warn": true, "WarnContext": true, "Error": true, "ErrorContext": true,
+		"Log": true, "LogAttrs": true, "With": true, "WithGroup": true,
+	},
+	"encoding/json.Encoder": {"Encode": true},
+	"testing.common":        {"Log": true, "Logf": true, "Error": true, "Errorf": true, "Fatal": true, "Fatalf": true, "Skip": true, "Skipf": true},
+	"testing.T":             {"Log": true, "Logf": true, "Error": true, "Errorf": true, "Fatal": true, "Fatalf": true, "Skip": true, "Skipf": true},
+	"testing.B":             {"Log": true, "Logf": true, "Error": true, "Errorf": true, "Fatal": true, "Fatalf": true, "Skip": true, "Skipf": true},
+}
+
+// stringerMethods turn their receiver into text; calling one on a secret
+// value is a finding even with a redacting implementation — redaction is
+// the runtime net, this is the static fence.
+var stringerMethods = map[string]bool{
+	"String": true, "GoString": true, "MarshalText": true, "MarshalJSON": true,
+}
+
+func runSecretFlow(p *Pass) {
+	secrets := newSecretSet(p.Module)
+	if len(secrets.roots) == 0 {
+		return
+	}
+	for _, pkg := range p.Module.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				p.checkSecretCall(secrets, pkg, call)
+				return true
+			})
+		}
+	}
+}
+
+func (p *Pass) checkSecretCall(secrets *secretSet, pkg *Package, call *ast.CallExpr) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return
+	}
+	recv := recvNamed(fn)
+	sinkName := ""
+	switch {
+	case recv == nil && sinkFuncs[funcPkgPath(fn)][fn.Name()]:
+		sinkName = funcPkgPath(fn) + "." + fn.Name()
+	case recv != nil && sinkMethods[namedPath(recv)][fn.Name()]:
+		sinkName = "(" + namedPath(recv) + ")." + fn.Name()
+	case recv != nil && stringerMethods[fn.Name()] && secrets.isSecret(recv):
+		// sk.String(), shares.MarshalJSON(), ...: the receiver itself is
+		// the leak.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := pkg.Info.Types[sel.X]; ok && secrets.isSecret(tv.Type) {
+				p.Reportf(call.Pos(), "calling %s() on secret type %s: key material must go through the canonical codec, never a text form",
+					fn.Name(), namedPath(recv))
+			}
+		}
+		return
+	default:
+		return
+	}
+	for i, arg := range call.Args {
+		if secrets.isSecretExpr(pkg, arg) {
+			tv := pkg.Info.Types[ast.Unparen(arg)]
+			p.Reportf(arg.Pos(), "secret value (type %s) reaches %s argument %d: key material must never be formatted, logged, or JSON-marshaled",
+				types.TypeString(tv.Type, nil), sinkName, i+1)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireCodeParity keeps the typed-error wire protocol in lockstep across
+// the process boundary. The service carries sentinel errors to clients
+// as machine-readable codes (ErrorResponse.Code), and the client maps
+// the codes back onto the same sentinels so errors.Is works end to end.
+// That round trip is three artifacts that must agree and live in
+// different packages: the exported Err* sentinels of the service layer,
+// the errorCode classifier that turns sentinels into wire codes, and the
+// client's APIError.Unwrap that turns codes back into sentinels. This
+// analyzer computes all three sets from the actual declarations and
+// map/switch literals and reports any drift:
+//
+//  1. every exported Err* sentinel of the service package must be
+//     classified by errorCode (a new sentinel without a wire code
+//     reaches clients as an opaque 5xx);
+//  2. every wire code errorCode can return must have a reverse case in
+//     the client's APIError.Unwrap (a code without a reverse mapping
+//     breaks errors.Is across the wire exactly for that failure).
+var WireCodeParity = &Analyzer{
+	Name: "wirecode-parity",
+	Doc:  "service sentinel errors, wire codes, and the client's reverse map must agree",
+	Run:  runWireCodeParity,
+}
+
+func runWireCodeParity(p *Pass) {
+	servicePath := p.Module.Path + "/service"
+	clientPath := p.Module.Path + "/client"
+	service := p.Module.Lookup(servicePath)
+	client := p.Module.Lookup(clientPath)
+	if service == nil || client == nil {
+		return // nothing to check (corpus fixtures may model one side only)
+	}
+
+	classifier := findFuncDecl(service, "errorCode")
+	if classifier == nil {
+		p.Reportf(service.Files[0].Pos(), "package %s has no errorCode classifier; the wire protocol's sentinel->code map is gone", servicePath)
+		return
+	}
+	classified, returnedCodes := classifierSets(service, classifier)
+
+	// 1. Exported sentinels must be classified.
+	scope := service.Types.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !obj.Exported() || !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		if !isErrorType(obj.Type()) {
+			continue
+		}
+		if !classified[obj] {
+			p.Reportf(obj.Pos(), "exported sentinel %s.%s has no wire code: add an errors.Is case to errorCode so clients see a typed error, not an opaque failure",
+				service.Types.Name(), name)
+		}
+	}
+
+	// 2. Codes the classifier returns must be reverse-mapped in the
+	// client.
+	unwrap := findMethodDecl(client, "APIError", "Unwrap")
+	if unwrap == nil {
+		p.Reportf(client.Files[0].Pos(), "package %s has no APIError.Unwrap; wire codes cannot be mapped back onto sentinels", clientPath)
+		return
+	}
+	reverse := caseStringValues(client, unwrap)
+	for code, pos := range returnedCodes {
+		if !reverse[code] {
+			p.Reportf(pos, "wire code %q is produced by the service's errorCode but has no case in the client's APIError.Unwrap: errors.Is breaks across the wire for it", code)
+		}
+	}
+}
+
+// classifierSets walks errorCode's body and collects (a) every sentinel
+// object passed as the second argument of an errors.Is call and (b)
+// every constant string code the function can return, keyed by value
+// with a representative position.
+func classifierSets(pkg *Package, fn *ast.FuncDecl) (classified map[types.Object]bool, codes map[string]token.Pos) {
+	classified = make(map[types.Object]bool)
+	codes = make(map[string]token.Pos)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(pkg, n)
+			if callee != nil && callee.Name() == "Is" && funcPkgPath(callee) == "errors" && len(n.Args) == 2 {
+				if obj := exprObject(pkg, n.Args[1]); obj != nil {
+					classified[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if v, ok := constStringValue(pkg, res); ok && v != "" {
+					if _, seen := codes[v]; !seen {
+						codes[v] = res.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return classified, codes
+}
+
+// caseStringValues collects every constant string compared in the switch
+// cases of a function body (the client's code -> sentinel reverse map).
+func caseStringValues(pkg *Package, fn *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if v, ok := constStringValue(pkg, e); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprObject resolves the object an identifier or selector denotes,
+// following aliased sentinel vars (ErrX = core.ErrX) one initializer
+// deep so both spellings count as the same classification.
+func exprObject(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// constStringValue evaluates an expression to a constant string.
+func constStringValue(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// findFuncDecl locates a top-level function by name.
+func findFuncDecl(pkg *Package, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// findMethodDecl locates a method by receiver type name and method name.
+func findMethodDecl(pkg *Package, recvType, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recvType {
+				return fd
+			}
+		}
+	}
+	return nil
+}
