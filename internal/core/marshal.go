@@ -29,6 +29,9 @@ const (
 	// index plus the four 32-byte scalars (the paper's constant-size
 	// shares).
 	PrivateKeyShareSize = 2 + 4*scalarSize
+	// AggPublicKeySize is len(AggPublicKey.Marshal()): two uncompressed
+	// G2 points plus the two uncompressed G1 validity-proof points.
+	AggPublicKeySize = 2*bn254.G2SizeUncompressed + 2*bn254.G1SizeUncompressed
 )
 
 const scalarSize = 32
@@ -69,6 +72,41 @@ func UnmarshalPublicKey(params *Params, data []byte) (*PublicKey, error) {
 	}
 	if err := pk.G2.Unmarshal(data[bn254.G2SizeUncompressed:]); err != nil {
 		return nil, fmt.Errorf("core: public key g^_2: %w (%w)", err, ErrInvalidEncoding)
+	}
+	return pk, nil
+}
+
+// UnmarshalAggPublicKey decodes the AggPublicKey.Marshal encoding
+// (g^_1 || g^_2 || Z || R) against the given aggregation parameters and
+// checks the built-in key-validity proof, so a decoded key is always a
+// sane one.
+func UnmarshalAggPublicKey(params *AggParams, data []byte) (*AggPublicKey, error) {
+	if len(data) != AggPublicKeySize {
+		return nil, fmt.Errorf("core: aggregate public key length %d, want %d: %w", len(data), AggPublicKeySize, ErrInvalidEncoding)
+	}
+	pk := &AggPublicKey{
+		Params: params,
+		G1:     new(bn254.G2), G2: new(bn254.G2),
+		Z: new(bn254.G1), R: new(bn254.G1),
+	}
+	off := 0
+	for _, part := range []struct {
+		name string
+		dec  func([]byte) error
+		size int
+	}{
+		{"g^_1", pk.G1.Unmarshal, bn254.G2SizeUncompressed},
+		{"g^_2", pk.G2.Unmarshal, bn254.G2SizeUncompressed},
+		{"z", pk.Z.Unmarshal, bn254.G1SizeUncompressed},
+		{"r", pk.R.Unmarshal, bn254.G1SizeUncompressed},
+	} {
+		if err := part.dec(data[off : off+part.size]); err != nil {
+			return nil, fmt.Errorf("core: aggregate public key %s: %w (%w)", part.name, err, ErrInvalidEncoding)
+		}
+		off += part.size
+	}
+	if !pk.SanityCheck() {
+		return nil, fmt.Errorf("core: aggregate public key fails its validity proof: %w", ErrInvalidEncoding)
 	}
 	return pk, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -264,5 +265,49 @@ func TestGroupMarshalRoundTrip(t *testing.T) {
 	bad[2+dl+3] = 2 // t: 1 -> 2 with n=3
 	if _, err := UnmarshalGroup(bad); err == nil {
 		t.Fatal("accepted group with n < 2t+1")
+	}
+}
+
+func TestAggPublicKeyMarshalRoundTrip(t *testing.T) {
+	params := NewAggParams("marshal-agg-test/v1")
+	views, _, err := AggDistKeygen(params, 3, 1)
+	if err != nil {
+		t.Fatalf("Agg-Dist-Keygen: %v", err)
+	}
+	raw := views[1].PK.Marshal()
+	if len(raw) != AggPublicKeySize {
+		t.Fatalf("encoding is %d bytes, want %d", len(raw), AggPublicKeySize)
+	}
+	pk, err := UnmarshalAggPublicKey(params, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk.Equal(views[1].PK) {
+		t.Fatal("round-trip changed the aggregate public key")
+	}
+	if !pk.SanityCheck() {
+		t.Fatal("decoded key fails its validity proof")
+	}
+	for _, cut := range []int{0, 1, AggPublicKeySize - 1} {
+		if _, err := UnmarshalAggPublicKey(params, raw[:cut]); err == nil {
+			t.Fatalf("accepted aggregate key truncated to %d bytes", cut)
+		} else if !errors.Is(err, ErrInvalidEncoding) {
+			t.Fatalf("truncation error is not ErrInvalidEncoding-typed: %v", err)
+		}
+	}
+	// Corrupting any component must fail the point decode or the
+	// validity proof — never round-trip silently.
+	bad := bytes.Clone(raw)
+	bad[7] ^= 0xff
+	if _, err := UnmarshalAggPublicKey(params, bad); err == nil {
+		t.Fatal("accepted corrupted aggregate public key")
+	}
+	// A structurally valid encoding under the WRONG parameters must be
+	// rejected by the built-in proof: the generators g, h differ.
+	other := NewAggParams("marshal-agg-test/v2")
+	if _, err := UnmarshalAggPublicKey(other, raw); err == nil {
+		t.Fatal("accepted aggregate key under foreign parameters")
+	} else if !errors.Is(err, ErrInvalidEncoding) {
+		t.Fatalf("foreign-parameter error is not ErrInvalidEncoding-typed: %v", err)
 	}
 }
