@@ -145,6 +145,7 @@ func (b *batcher) dispatch(fb *formingBatch) {
 // the batch's id is what the signers' logs see for the merged trip.
 func (b *batcher) send(items []*batchItem) {
 	b.tn.c.met.windowOccupancy.Observe(float64(len(items)))
+	//tsiglint:ignore ctxscope a window batch serves many callers and must outlive each of them; cancellation is per-item via batchItem contexts
 	b.tn.batchFanOut(WithRequestID(context.Background(), newRequestID()), items)
 }
 
