@@ -1,0 +1,23 @@
+package core
+
+import "log/slog"
+
+// Redacted is what every secret type prints as. The static fence
+// (tsiglint's secretflow analyzer) stops secret values from reaching
+// formatting sinks at build time; these methods are the runtime net for
+// the paths no static analysis sees — a %v deep inside a third-party
+// error wrapper, a debugger-driven dump, a reflection walk. The only
+// sanctioned egress for key material is the canonical codec
+// (Marshal/Unmarshal); every text form is a redaction marker.
+const Redacted = "tsig:REDACTED"
+
+func (sk *PrivateKeyShare) String() string   { return Redacted }
+func (sk *PrivateKeyShare) GoString() string { return Redacted }
+
+// LogValue redacts the share under log/slog no matter which attribute
+// constructor wrapped it.
+func (sk *PrivateKeyShare) LogValue() slog.Value { return slog.StringValue(Redacted) }
+
+func (ks *KeyShares) String() string       { return Redacted }
+func (ks *KeyShares) GoString() string     { return Redacted }
+func (ks *KeyShares) LogValue() slog.Value { return slog.StringValue(Redacted) }

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+// TestRedaction proves no text form of key material reveals a scalar:
+// %v, %s, %#v, and slog all print the redaction marker. The scalar is a
+// recognizable decimal so a leak would be caught by substring.
+func TestRedaction(t *testing.T) {
+	leak := big.NewInt(424242424242)
+	sk := &PrivateKeyShare{Index: 3, A1: leak, B1: leak, A2: leak, B2: leak}
+	ks := &KeyShares{Share: sk}
+	for _, verb := range []string{"%v", "%s", "%#v"} {
+		for _, v := range []any{sk, ks} {
+			got := fmt.Sprintf(verb, v)
+			if got != Redacted {
+				t.Errorf("%s of %T = %q, want %q", verb, v, got, Redacted)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	slog.New(slog.NewTextHandler(&buf, nil)).Info("keygen", "share", sk, "view", ks)
+	if s := buf.String(); strings.Contains(s, "424242424242") || !strings.Contains(s, Redacted) {
+		t.Errorf("slog output leaks the scalar or misses the marker: %s", s)
+	}
+}

@@ -1,0 +1,18 @@
+package dkg
+
+import "log/slog"
+
+// redacted is the uniform text form of DKG key material: shares and the
+// Result that carries them never print their scalars. The static fence
+// is tsiglint's secretflow analyzer; this is the runtime net for
+// formatting paths no static check sees. (Matches core.Redacted; kept
+// as a local constant so this package stays importable on its own.)
+const redacted = "tsig:REDACTED"
+
+func (s Share) String() string       { return redacted }
+func (s Share) GoString() string     { return redacted }
+func (s Share) LogValue() slog.Value { return slog.StringValue(redacted) }
+
+func (r *Result) String() string       { return redacted }
+func (r *Result) GoString() string     { return redacted }
+func (r *Result) LogValue() slog.Value { return slog.StringValue(redacted) }

@@ -1,0 +1,13 @@
+package lhsps
+
+import "log/slog"
+
+// redacted is the uniform text form of an LHSPS signing key: the chi
+// and gamma scalars never print. The static fence is tsiglint's
+// secretflow analyzer; this is the runtime net for formatting paths no
+// static check sees.
+const redacted = "tsig:REDACTED"
+
+func (sk *PrivateKey) String() string       { return redacted }
+func (sk *PrivateKey) GoString() string     { return redacted }
+func (sk *PrivateKey) LogValue() slog.Value { return slog.StringValue(redacted) }

@@ -1,0 +1,18 @@
+package shamir
+
+import "log/slog"
+
+// redacted is the uniform text form of sharing secrets: a share point
+// and a sharing polynomial (whose constant term IS the secret) never
+// print their scalars. The static fence is tsiglint's secretflow
+// analyzer; this is the runtime net for formatting paths no static
+// check sees.
+const redacted = "tsig:REDACTED"
+
+func (s Share) String() string       { return redacted }
+func (s Share) GoString() string     { return redacted }
+func (s Share) LogValue() slog.Value { return slog.StringValue(redacted) }
+
+func (p *Polynomial) String() string       { return redacted }
+func (p *Polynomial) GoString() string     { return redacted }
+func (p *Polynomial) LogValue() slog.Value { return slog.StringValue(redacted) }

@@ -1,0 +1,30 @@
+package shamir
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestRedaction(t *testing.T) {
+	f, err := NewField(big.NewInt(7919))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := f.NewPolynomial(2, big.NewInt(6161), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := poly.Shares(3)[0]
+	for _, v := range []any{sh, poly} {
+		for _, verb := range []string{"%v", "%s", "%#v"} {
+			if got := fmt.Sprintf(verb, v); got != redacted {
+				t.Errorf("%s of %T = %q, want %q", verb, v, got, redacted)
+			}
+		}
+	}
+	if s := fmt.Sprint(poly.Shares(3)); strings.Contains(s, "6161") {
+		t.Errorf("share slice leaks scalars: %s", s)
+	}
+}
