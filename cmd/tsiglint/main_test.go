@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// capture runs tsiglint's run() with stdout redirected and returns the
+// exit code and output.
+func capture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	code := run(args)
+	os.Stdout = old
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return code, buf.String()
+}
+
+// TestRealTreeExitsZero is the acceptance gate: the linter over its own
+// repository reports nothing and exits 0.
+func TestRealTreeExitsZero(t *testing.T) {
+	code, out := capture(t, "../..")
+	if code != 0 || out != "" {
+		t.Fatalf("tsiglint on the real tree: exit %d, output:\n%s", code, out)
+	}
+}
+
+// TestCorpusExitsOne proves findings drive the exit code and the JSON
+// report carries them in the shared metricslint shape.
+func TestCorpusExitsOne(t *testing.T) {
+	code, out := capture(t, "-json", "../../internal/analysis/testdata/lockhold")
+	if code != 1 {
+		t.Fatalf("exit %d on a corpus with known findings, want 1; output:\n%s", code, out)
+	}
+	var rep struct {
+		Tool     string `json:"tool"`
+		Count    int    `json:"count"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not one JSON object: %v\n%s", err, out)
+	}
+	if rep.Tool != "tsiglint" || rep.Count == 0 || len(rep.Findings) != rep.Count {
+		t.Fatalf("bad report header: tool=%q count=%d findings=%d", rep.Tool, rep.Count, len(rep.Findings))
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer != "lockhold" || f.File == "" || f.Line == 0 {
+			t.Fatalf("malformed finding: %+v", f)
+		}
+	}
+}
+
+// TestUsageErrorsExitTwo pins the third exit code.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	if code, _ := capture(t, "-only", "nosuch", "../.."); code != 2 {
+		t.Fatal("unknown analyzer did not exit 2")
+	}
+	if code, _ := capture(t, t.TempDir()); code != 2 {
+		t.Fatal("directory with no module did not exit 2")
+	}
+}

@@ -1,0 +1,73 @@
+// Corpus for the codec-parity analyzer: paired-and-defensive codecs
+// are clean; an encoder without a decoder and a decoder without length
+// checks are findings.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidEncoding puts this package in the analyzer's scope.
+var ErrInvalidEncoding = errors.New("core: invalid encoding")
+
+// Group has the full discipline: paired, length-checked, typed errors.
+type Group struct{ ID byte }
+
+func (g *Group) Marshal() []byte { return []byte{g.ID} }
+
+func (g *Group) Unmarshal(data []byte) error {
+	if len(data) != 1 {
+		return fmt.Errorf("core: group encoding is %d bytes, want 1: %w", len(data), ErrInvalidEncoding)
+	}
+	g.ID = data[0]
+	return nil
+}
+
+// Orphan can be written but never read back.
+type Orphan struct{ ID byte }
+
+func (o *Orphan) Marshal() []byte { return []byte{o.ID} } // want `exported \(Orphan\).Marshal has no decoding counterpart`
+
+// Sloppy has a counterpart that trusts its input.
+type Sloppy struct{ ID byte }
+
+func (s *Sloppy) Marshal() []byte { return []byte{s.ID} }
+
+func (s *Sloppy) Unmarshal(data []byte) error { // want `\(Sloppy\).Unmarshal does not both length-check its input and type failures with ErrInvalidEncoding`
+	s.ID = data[0]
+	return nil
+}
+
+// MarshalPair is a top-level encoder with no UnmarshalPair.
+func MarshalPair(a, b *Group) []byte { // want `exported MarshalPair has no decoding counterpart`
+	return append(a.Marshal(), b.Marshal()...)
+}
+
+// MarshalTriple delegates its decoding to a helper — the analyzer must
+// follow one hop and accept it.
+func MarshalTriple(a, b, c *Group) []byte {
+	out := append(a.Marshal(), b.Marshal()...)
+	return append(out, c.Marshal()...)
+}
+
+func UnmarshalTriple(data []byte) (*Group, *Group, *Group, error) {
+	return parseTriple(data)
+}
+
+func parseTriple(data []byte) (*Group, *Group, *Group, error) {
+	if len(data) != 3 {
+		return nil, nil, nil, fmt.Errorf("core: triple encoding is %d bytes, want 3: %w", len(data), ErrInvalidEncoding)
+	}
+	a, b, c := &Group{}, &Group{}, &Group{}
+	if err := a.Unmarshal(data[:1]); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := b.Unmarshal(data[1:2]); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := c.Unmarshal(data[2:]); err != nil {
+		return nil, nil, nil, err
+	}
+	return a, b, c, nil
+}

@@ -1,0 +1,10 @@
+// A process entry point is outside the ctxscope scope: a root context
+// is the correct thing here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

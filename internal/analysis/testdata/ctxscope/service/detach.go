@@ -1,0 +1,19 @@
+// Corpus for the ctxscope analyzer: root contexts minted in the
+// serving layer are findings unless a reasoned ignore directive marks
+// the detachment as intentional.
+package service
+
+import "context"
+
+func fanOut(ctx context.Context) {
+	bg := context.Background() // want `context.Background\(\) in repro/service`
+	todo := context.TODO()     // want `context.TODO\(\) in repro/service`
+	_, _, _ = ctx, bg, todo
+}
+
+// window models the sanctioned case: work that outlives its callers,
+// waived with a reason that becomes the audit trail.
+func window() context.Context {
+	//tsiglint:ignore ctxscope the batch window outlives each caller; per-item cancellation is handled separately
+	return context.Background()
+}

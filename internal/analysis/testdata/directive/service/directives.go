@@ -1,0 +1,18 @@
+// Corpus for the engine's directive policy: //tsiglint:ignore must
+// name a known analyzer and carry a reason, and the strict analyzers
+// can never be silenced in non-test code. The want expectations sit in
+// block comments because the directive itself consumes the rest of its
+// line.
+package service
+
+func placeholder() {}
+
+/* want `malformed directive` */ //tsiglint:ignore
+
+/* want `directive names unknown analyzer "nosuch"` */ //tsiglint:ignore nosuch because reasons
+
+/* want `directive for "lockhold" has no reason` */ //tsiglint:ignore lockhold
+
+/* want `secretflow findings may not be ignored in non-test code` */ //tsiglint:ignore secretflow totally safe, trust me
+
+/* want `randsource findings may not be ignored in non-test code` */ //tsiglint:ignore randsource jitter only

@@ -1,0 +1,77 @@
+// Corpus for the lockhold analyzer: blocking waits under a held mutex
+// are findings; unlock-first, goroutines, and defaulted selects are
+// clean.
+package service
+
+import (
+	"net/http"
+	"sync"
+)
+
+type Server struct {
+	mu     sync.Mutex
+	client *http.Client
+	jobs   chan int
+}
+
+func (s *Server) BadRoundTrip(req *http.Request) {
+	s.mu.Lock()
+	resp, err := s.client.Do(req) // want `HTTP round-trip Do\(\*http.Request\) while holding s.mu`
+	_, _ = resp, err
+	s.mu.Unlock()
+}
+
+func (s *Server) BadSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs <- v // want `channel send while holding s.mu`
+}
+
+func (s *Server) BadReceive() int {
+	s.mu.Lock()
+	v := <-s.jobs // want `channel receive while holding s.mu`
+	s.mu.Unlock()
+	return v
+}
+
+func (s *Server) BadSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select with no default while holding s.mu`
+	case v := <-s.jobs:
+		_ = v
+	}
+}
+
+func (s *Server) BadRange() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.jobs { // want `range over channel while holding s.mu`
+		_ = v
+	}
+}
+
+func (s *Server) GoodUnlockFirst(req *http.Request) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	resp, err := s.client.Do(req) // clean: the lock is already released
+	_, _ = resp, err
+}
+
+func (s *Server) GoodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.jobs <- 1 // clean: the goroutine does not hold the caller's lock
+	}()
+}
+
+func (s *Server) GoodNonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.jobs:
+		_ = v
+	default: // clean: cannot block
+	}
+}

@@ -1,0 +1,46 @@
+// Corpus for the metriclabels analyzer: label values that echo raw
+// request bytes are findings; constants, *Label renderers, and
+// registry-bounded values are clean.
+package service
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/service/metrics"
+)
+
+var requests = metrics.NewCounterVec("requests_total", "op", "group")
+
+const opSign = "sign"
+
+// groupLabel is the documented convention for a bounded renderer.
+func groupLabel(id string) string {
+	if len(id) > 8 {
+		return "_other"
+	}
+	return id
+}
+
+// registry stands in for a validation lookup: its result is bounded by
+// what was registered, so taint is cut at the call.
+var registry = map[string]string{"g1": "g1"}
+
+func lookup(id string) string { return registry[id] }
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	group := r.PathValue("group")
+
+	requests.WithLabelValues(opSign, "static").Inc() // clean: constants
+
+	requests.WithLabelValues(opSign, groupLabel(group)).Inc() // clean: *Label renderer
+
+	requests.WithLabelValues(opSign, lookup(group)).Inc() // clean: registry lookup cuts taint
+
+	requests.WithLabelValues(opSign, group).Inc() // want `label value 2 of CounterVec.WithLabelValues derives from raw request bytes`
+
+	requests.WithLabelValues(opSign, r.URL.Path).Inc() // want `label value 2 of CounterVec.WithLabelValues derives from raw request bytes`
+
+	key := "tenant:" + strings.ToLower(group)
+	requests.WithLabelValues(opSign, key).Inc() // want `label value 2 of CounterVec.WithLabelValues derives from raw request bytes`
+}

@@ -1,0 +1,16 @@
+// Package metrics is a corpus fixture: the minimal shape of the real
+// instrument library, enough for the metriclabels analyzer to anchor
+// on WithLabelValues receivers from this import path.
+package metrics
+
+type CounterVec struct{ name string }
+
+func NewCounterVec(name string, labels ...string) *CounterVec {
+	return &CounterVec{name: name}
+}
+
+func (v *CounterVec) WithLabelValues(lvs ...string) *Counter { return &Counter{} }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}

@@ -1,0 +1,22 @@
+// Corpus for the randsource analyzer: a crypto package (under
+// internal/) importing math/rand or seeding from the wall clock.
+package entropy
+
+import (
+	"crypto/rand"
+	mrand "math/rand" // want `crypto package repro/internal/entropy imports math/rand`
+	"time"
+)
+
+// Predictable is the classic downgrade: a time-seeded PRNG.
+func Predictable() int {
+	r := mrand.New(mrand.NewSource(time.Now().UnixNano())) // want `time-seeded entropy in crypto package`
+	return r.Int()
+}
+
+// Nonce draws from the CSPRNG: clean.
+func Nonce() ([]byte, error) {
+	b := make([]byte, 32)
+	_, err := rand.Read(b)
+	return b, err
+}

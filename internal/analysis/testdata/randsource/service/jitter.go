@@ -1,0 +1,13 @@
+// The serving layer is outside the randsource scope: math/rand for
+// retry jitter is fine here — it never touches key material.
+package service
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter spreads retries; predictability is harmless.
+func Jitter(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base)))
+}

@@ -1,0 +1,26 @@
+// Package core is a corpus fixture: the minimal shape of the real
+// module's key material, enough for the secretflow analyzer to resolve
+// its configured root types.
+package core
+
+import "math/big"
+
+// PrivateKeyShare mirrors the real secret root type.
+type PrivateKeyShare struct {
+	Index  int
+	A1, B1 *big.Int
+}
+
+// Marshal is the sanctioned egress: bytes for the keystore codec.
+func (sk *PrivateKeyShare) Marshal() []byte { return sk.A1.Bytes() }
+
+// String exists so the corpus can demonstrate that even a redacting
+// String() may not be CALLED on a secret value in production code.
+func (sk *PrivateKeyShare) String() string { return "tsig:REDACTED" }
+
+// KeyShares wraps a share; the analyzer must treat it as secret
+// transitively, with no per-type configuration.
+type KeyShares struct {
+	PK    string
+	Share *PrivateKeyShare
+}

@@ -1,0 +1,42 @@
+// Corpus for the secretflow analyzer: every formatting, logging, and
+// JSON sink fed a secret value is a finding; the canonical codec path
+// is clean.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"log/slog"
+	"math/big"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sk := &core.PrivateKeyShare{Index: 1, A1: big.NewInt(7), B1: big.NewInt(9)}
+	ks := &core.KeyShares{PK: "pk", Share: sk}
+
+	fmt.Printf("share=%v\n", sk)    // want `secret value .* reaches fmt.Printf`
+	err := fmt.Errorf("bad %v", ks) // want `secret value .* reaches fmt.Errorf`
+	_ = err
+
+	log.Println(sk) // want `secret value .* reaches log.Println`
+
+	slog.Info("keygen done", slog.Any("share", sk)) // want `secret value .* reaches log/slog.Any`
+
+	buf, _ := json.Marshal(ks) // want `secret value .* reaches encoding/json.Marshal`
+	_ = buf
+
+	_ = sk.String() // want `calling String\(\) on secret type`
+
+	fmt.Println(sk.A1) // want `secret value .* reaches fmt.Println`
+
+	// The sanctioned egress: the canonical codec into a hex string. The
+	// call result is bytes, not a secret-typed value — clean by design.
+	_ = hex.EncodeToString(sk.Marshal())
+
+	// Non-secret values through the same sinks are clean.
+	fmt.Printf("index=%d pk=%s\n", sk.Index, ks.PK)
+}

@@ -1,0 +1,26 @@
+// The client side of the corpus: the reverse map is missing the
+// "conflict" case, which the analyzer reports at the service's return
+// site.
+package client
+
+import "repro/service"
+
+// APIError is the wire error as the client sees it.
+type APIError struct {
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string { return e.Message }
+
+// Unwrap maps wire codes back onto the shared sentinels so errors.Is
+// works across the process boundary.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case service.CodeInvalidShare:
+		return service.ErrInvalidShare
+	case service.CodeOverloaded:
+		return service.ErrOverloaded
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Corpus for the wirecode-parity analyzer: the service side of the
+// typed-error wire protocol, with two deliberate drifts.
+package service
+
+import "errors"
+
+var (
+	ErrInvalidShare = errors.New("service: invalid share")
+	ErrOverloaded   = errors.New("service: overloaded")
+	// ErrConflict is classified below but its code has no reverse case
+	// in the client.
+	ErrConflict = errors.New("service: conflict")
+	// ErrForgotten is a sentinel someone added without touching the
+	// classifier.
+	ErrForgotten = errors.New("service: forgotten") // want `exported sentinel service.ErrForgotten has no wire code`
+)
+
+const (
+	CodeInvalidShare = "invalid_share"
+	CodeOverloaded   = "overloaded"
+	CodeConflict     = "conflict"
+)
+
+// errorCode is the sentinel -> wire code classifier the analyzer
+// anchors on.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrInvalidShare):
+		return CodeInvalidShare
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrConflict):
+		return CodeConflict // want `wire code "conflict" is produced by the service's errorCode but has no case in the client's APIError.Unwrap`
+	}
+	return ""
+}
+
+// touch keeps errorCode referenced.
+var _ = errorCode
