@@ -2,41 +2,102 @@
 // service/metrics strict parser: well-formed HELP/TYPE headers, samples
 // matching their declared family, monotone cumulative histogram
 // buckets, no duplicate sample identities. It reads stdin (or the given
-// files) and exits non-zero on the first violation — CI pipes a live
-// /metrics scrape from a loopback fleet through it to keep the
-// exposition format honest:
+// files) and reports violations — CI pipes a live /metrics scrape from
+// a loopback fleet through it to keep the exposition format honest:
 //
 //	curl -fsS http://localhost:9090/metrics | metricslint
+//
+// Findings print as file:line: message, or as one JSON object with
+// -json — the same {"tool", "count", "findings"} shape and exit codes
+// as tsiglint, so CI scripts both linters identically:
+//
+//	exit 0  no findings
+//	exit 1  findings reported
+//	exit 2  usage or I/O failure
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"strconv"
 
 	"repro/service/metrics"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "metricslint:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:]))
 }
 
-func run(paths []string) error {
-	if len(paths) == 0 {
-		return metrics.Lint(os.Stdin)
+// finding mirrors tsiglint's JSON finding: one violation with its
+// source position. The exposition parser stops at the first violation,
+// so a run yields at most one finding per input.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type report struct {
+	Tool     string    `json:"tool"`
+	Count    int       `json:"count"`
+	Findings []finding `json:"findings"`
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("metricslint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		err = metrics.Lint(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+	findings := []finding{} // non-nil: -json must render [], matching tsiglint
+	lint := func(name string, r io.Reader) {
+		if err := metrics.Lint(r); err != nil {
+			findings = append(findings, newFinding(name, err))
 		}
 	}
-	return nil
+	if fs.NArg() == 0 {
+		lint("<stdin>", os.Stdin)
+	} else {
+		for _, path := range fs.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metricslint:", err)
+				return 2
+			}
+			lint(path, f)
+			f.Close()
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(report{Tool: "metricslint", Count: len(findings), Findings: findings})
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d: %s\n", f.File, f.Line, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// lineRE lifts the "line N: " prefix the exposition parser puts on
+// every violation into the structured line field.
+var lineRE = regexp.MustCompile(`^line (\d+): `)
+
+func newFinding(name string, err error) finding {
+	f := finding{File: name, Analyzer: "exposition", Message: err.Error()}
+	if m := lineRE.FindStringSubmatch(f.Message); m != nil {
+		f.Line, _ = strconv.Atoi(m[1])
+		f.Message = f.Message[len(m[0]):]
+	}
+	return f
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	code := run(args)
+	os.Stdout = old
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return code, buf.String()
+}
+
+func writeExposition(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanExpositionExitsZero(t *testing.T) {
+	path := writeExposition(t, "# TYPE up gauge\nup 1\n")
+	if code, out := capture(t, path); code != 0 || out != "" {
+		t.Fatalf("exit %d, output %q on a clean exposition", code, out)
+	}
+}
+
+func TestViolationExitsOneWithSharedJSONShape(t *testing.T) {
+	path := writeExposition(t, "# TYPE up gauge\nup 1\nup 1\n")
+	code, out := capture(t, "-json", path)
+	if code != 1 {
+		t.Fatalf("exit %d on a duplicate sample, want 1", code)
+	}
+	var rep struct {
+		Tool     string `json:"tool"`
+		Count    int    `json:"count"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not one JSON object: %v\n%s", err, out)
+	}
+	if rep.Tool != "metricslint" || rep.Count != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("bad report header: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if f.File != path || f.Line != 3 || f.Analyzer != "exposition" || f.Message == "" {
+		t.Fatalf("malformed finding: %+v", f)
+	}
+}
+
+func TestMissingFileExitsTwo(t *testing.T) {
+	if code, _ := capture(t, filepath.Join(t.TempDir(), "nope.txt")); code != 2 {
+		t.Fatal("unreadable input did not exit 2")
+	}
+}
