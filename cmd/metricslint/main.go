@@ -7,9 +7,9 @@
 //
 //	curl -fsS http://localhost:9090/metrics | metricslint
 //
-// Findings print as file:line: message, or as one JSON object with
-// -json — the same {"tool", "count", "findings"} shape and exit codes
-// as tsiglint, so CI scripts both linters identically:
+// Output follows the internal/lintreport contract shared with tsiglint
+// — text, -json, or -format github — with the same exit codes, so CI
+// scripts both linters identically:
 //
 //	exit 0  no findings
 //	exit 1  findings reported
@@ -17,7 +17,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +24,7 @@ import (
 	"regexp"
 	"strconv"
 
+	"repro/internal/lintreport"
 	"repro/service/metrics"
 )
 
@@ -32,30 +32,17 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-// finding mirrors tsiglint's JSON finding: one violation with its
-// source position. The exposition parser stops at the first violation,
-// so a run yields at most one finding per input.
-type finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
-}
-
-type report struct {
-	Tool     string    `json:"tool"`
-	Count    int       `json:"count"`
-	Findings []finding `json:"findings"`
-}
-
 func run(args []string) int {
 	fs := flag.NewFlagSet("metricslint", flag.ContinueOnError)
-	jsonOut := fs.Bool("json", false, "emit findings as one JSON object")
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object (same as -format json)")
+	format := fs.String("format", "text", "output format: text, json, or github")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return lintreport.ExitError
 	}
-	findings := []finding{} // non-nil: -json must render [], matching tsiglint
+	if *jsonOut {
+		*format = "json"
+	}
+	var findings []lintreport.Finding
 	lint := func(name string, r io.Reader) {
 		if err := metrics.Lint(r); err != nil {
 			findings = append(findings, newFinding(name, err))
@@ -68,33 +55,29 @@ func run(args []string) int {
 			f, err := os.Open(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "metricslint:", err)
-				return 2
+				return lintreport.ExitError
 			}
 			lint(path, f)
 			f.Close()
 		}
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(report{Tool: "metricslint", Count: len(findings), Findings: findings})
-	} else {
-		for _, f := range findings {
-			fmt.Printf("%s:%d: %s\n", f.File, f.Line, f.Message)
-		}
+	rep := lintreport.New("metricslint", findings)
+	if err := rep.Write(os.Stdout, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		return lintreport.ExitError
 	}
-	if len(findings) > 0 {
-		return 1
-	}
-	return 0
+	return rep.ExitCode()
 }
 
 // lineRE lifts the "line N: " prefix the exposition parser puts on
 // every violation into the structured line field.
 var lineRE = regexp.MustCompile(`^line (\d+): `)
 
-func newFinding(name string, err error) finding {
-	f := finding{File: name, Analyzer: "exposition", Message: err.Error()}
+// newFinding shapes one parser violation. The exposition parser stops
+// at the first violation, so a run yields at most one finding per
+// input.
+func newFinding(name string, err error) lintreport.Finding {
+	f := lintreport.Finding{File: name, Analyzer: "exposition", Message: err.Error()}
 	if m := lineRE.FindStringSubmatch(f.Message); m != nil {
 		f.Line, _ = strconv.Atoi(m[1])
 		f.Message = f.Message[len(m[0]):]

@@ -14,9 +14,10 @@
 // tsiglint always analyzes the whole module enclosing the given
 // directory (the analyzers check cross-package invariants, so partial
 // loads would lie); "./..." is accepted as a conventional spelling of
-// "the module here". Findings print as file:line:col: [analyzer]
-// message, or as one JSON object with -json — the same shape and exit
-// codes as metricslint, so CI scripts both tools identically:
+// "the module here". Output follows the internal/lintreport contract
+// shared with metricslint — text, -json, or -format github (GitHub
+// Actions ::error annotations) — with the same exit codes, so CI
+// scripts both tools identically:
 //
 //	exit 0  no findings
 //	exit 1  findings reported
@@ -28,13 +29,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/lintreport"
 )
 
 func main() {
@@ -43,18 +44,28 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("tsiglint", flag.ContinueOnError)
-	jsonOut := fs.Bool("json", false, "emit findings as one JSON object")
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object (same as -format json)")
+	format := fs.String("format", "text", "output format: text, json, or github")
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return lintreport.ExitError
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "tsiglint: unknown -format %q (want text, json, or github)\n", *format)
+		return lintreport.ExitError
 	}
 	if *list {
 		for _, a := range analysis.Analyzers() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
-		return 0
+		return lintreport.ExitClean
 	}
 	dir := "."
 	if fs.NArg() > 0 {
@@ -67,60 +78,31 @@ func run(args []string) int {
 	analyzers, err := analysis.ByName(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsiglint:", err)
-		return 2
+		return lintreport.ExitError
 	}
 	mod, err := analysis.Load(dir, analysis.LoadConfig{IncludeTests: *tests})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsiglint:", err)
-		return 2
+		return lintreport.ExitError
 	}
 	diags := analysis.Run(mod, analyzers)
-	// Report module-relative paths: stable across checkouts, clickable in
-	// CI logs.
-	for i := range diags {
-		if rel, err := filepath.Rel(mod.Dir, diags[i].Pos.Filename); err == nil {
-			diags[i].Pos.Filename = rel
-		}
-	}
-	if *jsonOut {
-		writeJSON(os.Stdout, "tsiglint", diags)
-	} else {
-		for _, d := range diags {
-			fmt.Println(d)
-		}
-	}
-	if len(diags) > 0 {
-		return 1
-	}
-	return 0
-}
-
-// jsonFinding is the wire shape shared with metricslint: both linters
-// emit {"tool", "count", "findings": [{file, line, col, analyzer,
-// message}]} so one CI script consumes either.
-type jsonFinding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
-}
-
-type jsonReport struct {
-	Tool     string        `json:"tool"`
-	Count    int           `json:"count"`
-	Findings []jsonFinding `json:"findings"`
-}
-
-func writeJSON(w *os.File, tool string, diags []analysis.Diagnostic) {
-	rep := jsonReport{Tool: tool, Count: len(diags), Findings: make([]jsonFinding, 0, len(diags))}
+	findings := make([]lintreport.Finding, 0, len(diags))
 	for _, d := range diags {
-		rep.Findings = append(rep.Findings, jsonFinding{
-			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+		// Report module-relative paths: stable across checkouts, clickable
+		// in CI logs, and what the github format's file= property needs.
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(mod.Dir, file); err == nil {
+			file = rel
+		}
+		findings = append(findings, lintreport.Finding{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Column,
 			Analyzer: d.Analyzer, Message: d.Message,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(rep)
+	rep := lintreport.New("tsiglint", findings)
+	if err := rep.Write(os.Stdout, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "tsiglint:", err)
+		return lintreport.ExitError
+	}
+	return rep.ExitCode()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -39,7 +40,9 @@ func TestRealTreeExitsZero(t *testing.T) {
 // TestCorpusExitsOne proves findings drive the exit code and the JSON
 // report carries them in the shared metricslint shape.
 func TestCorpusExitsOne(t *testing.T) {
-	code, out := capture(t, "-json", "../../internal/analysis/testdata/lockhold")
+	// -only scopes the run to the analyzer under test so new analyzers
+	// joining the suite don't change what this corpus proves.
+	code, out := capture(t, "-json", "-only", "lockhold", "../../internal/analysis/testdata/lockhold")
 	if code != 1 {
 		t.Fatalf("exit %d on a corpus with known findings, want 1; output:\n%s", code, out)
 	}
@@ -74,5 +77,25 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 	}
 	if code, _ := capture(t, t.TempDir()); code != 2 {
 		t.Fatal("directory with no module did not exit 2")
+	}
+	if code, _ := capture(t, "-format", "xml", "../.."); code != 2 {
+		t.Fatal("unknown -format did not exit 2")
+	}
+}
+
+// TestGitHubFormat proves -format github emits workflow-command
+// annotations for every finding.
+func TestGitHubFormat(t *testing.T) {
+	code, out := capture(t, "-format", "github", "-only", "lockhold", "../../internal/analysis/testdata/lockhold")
+	if code != 1 {
+		t.Fatalf("exit %d on a corpus with known findings, want 1; output:\n%s", code, out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "::error file=") || !strings.Contains(line, ",line=") {
+			t.Fatalf("line is not a GitHub annotation: %q", line)
+		}
+		if !strings.Contains(line, "::[lockhold] ") {
+			t.Fatalf("annotation does not carry the analyzer-tagged message: %q", line)
+		}
 	}
 }

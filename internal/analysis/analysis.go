@@ -57,6 +57,8 @@ func Analyzers() []*Analyzer {
 		LockHold,
 		MetricLabels,
 		CtxScope,
+		GoroLeak,
+		ErrLost,
 	}
 }
 

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural half of the engine: a static call
+// graph over the type-checked package graph. Direct calls and method
+// calls resolve through go/types to the single function they name;
+// calls through a module-defined interface fan out conservatively to
+// every module type that implements the interface. The graph's strongly
+// connected components, emitted bottom-up (callees before callers), are
+// the evaluation order for the function summaries in summary.go.
+//
+// Soundness caveats, by construction: calls through function *values*
+// (fields, variables, callbacks) are not resolved, function literals
+// are analyzed as part of their enclosing declaration only where a
+// checker says so, and reflection is invisible. The analyzers that
+// consume the graph are linters, not verifiers — they trade those
+// corners for zero false positives on the idioms this repository
+// actually uses.
+
+// FuncNode is one module function or method with a body.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// CallGraph indexes every module function and the interface-implementer
+// relation needed to resolve dynamic dispatch.
+type CallGraph struct {
+	m     *Module
+	nodes map[*types.Func]*FuncNode
+	// impls maps a module interface's method to the concrete module
+	// methods that can stand behind it, sorted by full name for
+	// deterministic traces.
+	impls map[*types.Func][]*FuncNode
+	sccs  [][]*FuncNode // bottom-up: callees' components precede callers'
+}
+
+// callGraph builds (once) the module's call graph.
+func (m *Module) callGraph() *CallGraph {
+	if m.cg != nil {
+		return m.cg
+	}
+	g := &CallGraph{
+		m:     m,
+		nodes: make(map[*types.Func]*FuncNode),
+		impls: make(map[*types.Func][]*FuncNode),
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	g.buildImplementers()
+	g.buildSCCs()
+	m.cg = g
+	return g
+}
+
+// Node returns the graph node for fn, nil for stdlib and bodyless
+// functions.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// buildImplementers records, for every method of every module-defined
+// interface, the concrete module methods reachable through it. Stdlib
+// interfaces (io.Writer, error, ...) are deliberately excluded: fanning
+// out through them would drown the analyzers in impossible edges.
+func (g *CallGraph) buildImplementers() {
+	type namedIface struct {
+		named *types.Named
+		iface *types.Interface
+	}
+	var ifaces []namedIface
+	var concrete []*types.Named
+	for _, pkg := range g.m.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, namedIface{named, iface})
+				}
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+	for _, ni := range ifaces {
+		for _, impl := range concrete {
+			var ms *types.MethodSet
+			switch {
+			case types.Implements(types.NewPointer(impl), ni.iface):
+				ms = types.NewMethodSet(types.NewPointer(impl))
+			case types.Implements(impl, ni.iface):
+				ms = types.NewMethodSet(impl)
+			default:
+				continue
+			}
+			for i := 0; i < ni.iface.NumMethods(); i++ {
+				im := ni.iface.Method(i)
+				sel := ms.Lookup(impl.Obj().Pkg(), im.Name())
+				if sel == nil {
+					// Method promoted from an embedded stdlib type or
+					// unexported across packages: nothing to resolve.
+					continue
+				}
+				cf, ok := sel.Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				if node := g.nodes[cf]; node != nil {
+					g.impls[im] = append(g.impls[im], node)
+				}
+			}
+		}
+	}
+	for im, nodes := range g.impls {
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a].Fn.FullName() < nodes[b].Fn.FullName() })
+		g.impls[im] = dedupNodes(nodes)
+	}
+}
+
+func dedupNodes(nodes []*FuncNode) []*FuncNode {
+	out := nodes[:0]
+	for i, n := range nodes {
+		if i == 0 || nodes[i-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Targets resolves one call expression to the module functions it can
+// reach: the single static callee, or — through a module interface —
+// every implementer, in deterministic order. Nil for stdlib callees,
+// builtins, and function values.
+func (g *CallGraph) Targets(pkg *Package, call *ast.CallExpr) []*FuncNode {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return g.impls[fn]
+		}
+	}
+	if node := g.nodes[fn]; node != nil {
+		return []*FuncNode{node}
+	}
+	return nil
+}
+
+// buildSCCs runs Tarjan's algorithm over the call edges. Tarjan emits a
+// component only after every component reachable from it, so the output
+// order is exactly the bottom-up (callees first) order the summary
+// fixpoint wants.
+func (g *CallGraph) buildSCCs() {
+	// Deterministic node order: by file position.
+	all := make([]*FuncNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		all = append(all, n)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Decl.Pos() < all[b].Decl.Pos() })
+
+	succs := make(map[*FuncNode][]*FuncNode, len(all))
+	for _, n := range all {
+		seen := map[*FuncNode]bool{}
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, t := range g.Targets(n.Pkg, call) {
+				if !seen[t] {
+					seen[t] = true
+					succs[n] = append(succs[n], t)
+				}
+			}
+			return true
+		})
+	}
+
+	index := make(map[*FuncNode]int, len(all))
+	low := make(map[*FuncNode]int, len(all))
+	onStack := make(map[*FuncNode]bool, len(all))
+	var stack []*FuncNode
+	next := 0
+	var strong func(n *FuncNode)
+	strong = func(n *FuncNode) {
+		next++
+		index[n] = next
+		low[n] = next
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, s := range succs[n] {
+			if index[s] == 0 {
+				strong(s)
+				if low[s] < low[n] {
+					low[n] = low[s]
+				}
+			} else if onStack[s] && index[s] < low[n] {
+				low[n] = index[s]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []*FuncNode
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, top)
+				if top == n {
+					break
+				}
+			}
+			g.sccs = append(g.sccs, comp)
+		}
+	}
+	for _, n := range all {
+		if index[n] == 0 {
+			strong(n)
+		}
+	}
+}
+
+// displayName renders a function for call-chain traces: "helper" for a
+// plain function, "(*batcher).send" for a method.
+func displayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	star := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+		star = "*"
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return "(" + star + t.Obj().Name() + ")." + fn.Name()
+	case *types.Interface:
+		return fn.Name()
+	}
+	return fn.Name()
+}
+
+// pkgInScope reports whether pkg lies under one of the module-relative
+// path prefixes (the serving-layer scopes the layer-specific analyzers
+// use).
+func pkgInScope(m *Module, pkg *Package, scopes []string) bool {
+	rel := relPkgPath(m, pkg)
+	for _, s := range scopes {
+		if rel == s || len(rel) > len(s) && rel[:len(s)] == s && rel[len(s)] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// relPkgPath is pkg's import path relative to the module root ("" for
+// the root package itself).
+func relPkgPath(m *Module, pkg *Package) string {
+	rel := pkg.Path
+	if rel == m.Path {
+		return ""
+	}
+	if len(rel) > len(m.Path) && rel[:len(m.Path)] == m.Path && rel[len(m.Path)] == '/' {
+		return rel[len(m.Path)+1:]
+	}
+	return rel
+}

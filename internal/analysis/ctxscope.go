@@ -1,9 +1,6 @@
 package analysis
 
-import (
-	"go/ast"
-	"strings"
-)
+import "go/ast"
 
 // CtxScope forbids minting fresh root contexts inside the serving
 // layer. A context.Background() (or TODO()) in service or client code
@@ -27,14 +24,7 @@ var ctxScopeScope = []string{"service", "client"}
 
 func runCtxScope(p *Pass) {
 	for _, pkg := range p.Module.Pkgs {
-		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, p.Module.Path), "/")
-		inScope := false
-		for _, s := range ctxScopeScope {
-			if rel == s || strings.HasPrefix(rel, s+"/") {
-				inScope = true
-			}
-		}
-		if !inScope {
+		if !pkgInScope(p.Module, pkg, ctxScopeScope) {
 			continue
 		}
 		for _, f := range pkg.Files {

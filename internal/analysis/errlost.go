@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrLost hunts silently discarded errors in the layers where an error
+// IS the protocol: the serving tier's typed sentinels drive retry
+// policy, quorum accounting, and tenant isolation across the wire
+// (wirecode-parity exists to keep that chain intact), and the round
+// engine's errors are how a Byzantine or crashed peer becomes visible.
+// An error dropped on the floor there doesn't just lose a log line — it
+// turns a detectable fault into silent divergence.
+//
+// In service/, client/, and internal/engine non-test code, three
+// shapes are findings:
+//
+//   - blank discard: `_ = f()` or `v, _ := f()` where the blanked
+//     value is an error;
+//   - dropped result: a call used as a bare statement whose return
+//     includes an error nobody looks at;
+//   - lost write: an assignment to an error variable that is never
+//     read afterwards — the classic `err = g()` after the last check,
+//     or an outer err abandoned when a later `:=` shadows it.
+//
+// Exempt by policy (the discard is the idiom, not a bug): deferred
+// calls (`defer resp.Body.Close()`), `Close() error` methods in
+// statement position, writes to an http.ResponseWriter (the peer is
+// already gone if they fail), and `io.Copy` into `io.Discard` (the
+// drain-before-close idiom). Everything else wants handling or an
+// explicit //tsiglint:ignore errlost <reason>.
+var ErrLost = &Analyzer{
+	Name: "errlost",
+	Doc:  "service/client/engine code must not discard, drop, or shadow errors",
+	Run:  runErrLost,
+}
+
+var errLostScope = []string{"service", "client", "internal/engine"}
+
+func runErrLost(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		if !pkgInScope(p.Module, pkg, errLostScope) {
+			continue
+		}
+		eachFuncBody(pkg, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			if p.Module.isTestFile(decl.Pos()) {
+				return
+			}
+			el := &errLostChecker{p: p, pkg: pkg, fn: name, decl: decl}
+			el.checkDiscards(body)
+			el.checkLostWrites()
+		})
+	}
+}
+
+type errLostChecker struct {
+	p    *Pass
+	pkg  *Package
+	fn   string
+	decl *ast.FuncDecl
+}
+
+// errorInterface is the universe error type.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorInterface)
+}
+
+// checkDiscards walks the body (closures included) for blank-discarded
+// and statement-dropped errors.
+func (c *errLostChecker) checkDiscards(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.checkBlank(n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				c.checkDropped(call)
+			}
+		}
+		return true
+	})
+}
+
+// checkBlank flags `_ = <error>` and `v, _ := f()` with an error in the
+// blank slot.
+func (c *errLostChecker) checkBlank(a *ast.AssignStmt) {
+	blankAt := func(i int) bool {
+		id, ok := a.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			if !blankAt(i) {
+				continue
+			}
+			if tv, ok := c.pkg.Info.Types[a.Rhs[i]]; ok && implementsError(tv.Type) && !c.exemptDiscard(a.Rhs[i]) {
+				c.p.Reportf(a.Lhs[i].Pos(), "error discarded with _ in %s: handle it, return it, or carry a //tsiglint:ignore errlost <reason>", c.fn)
+			}
+		}
+		return
+	}
+	// v, _ := f(): one multi-value RHS.
+	if len(a.Rhs) != 1 {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[a.Rhs[0]]
+	if !ok {
+		return
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok {
+		return
+	}
+	for i := 0; i < tuple.Len() && i < len(a.Lhs); i++ {
+		if blankAt(i) && implementsError(tuple.At(i).Type()) && !c.exemptDiscard(a.Rhs[0]) {
+			c.p.Reportf(a.Lhs[i].Pos(), "error result %d of the call discarded with _ in %s: handle it, return it, or carry a //tsiglint:ignore errlost <reason>", i+1, c.fn)
+		}
+	}
+}
+
+// checkDropped flags a statement-position call whose results include an
+// error.
+func (c *errLostChecker) checkDropped(call *ast.CallExpr) {
+	tv, ok := c.pkg.Info.Types[call]
+	if !ok {
+		return
+	}
+	hasErr := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if implementsError(t.At(i).Type()) {
+				hasErr = true
+			}
+		}
+	default:
+		hasErr = implementsError(t)
+	}
+	if !hasErr || c.exemptDiscard(call) {
+		return
+	}
+	c.p.Reportf(call.Pos(), "call result carries an error that is dropped in %s: handle it, return it, or carry a //tsiglint:ignore errlost <reason>", c.fn)
+}
+
+// exemptDiscard recognizes the sanctioned discard idioms.
+func (c *errLostChecker) exemptDiscard(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil {
+		return false
+	}
+	// Close() error in cleanup position: the value was already consumed;
+	// a close failure has no recovery. (Write-side closes that matter
+	// are checked where the write result is.)
+	if fn.Name() == "Close" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sig.Params().Len() == 0 {
+			return true
+		}
+	}
+	// http.ResponseWriter.Write/WriteString: the peer hung up; there is
+	// nothing a handler can do with the error. strings.Builder and
+	// bytes.Buffer methods: documented to never return a non-nil error.
+	if recv := recvNamed(fn); recv != nil {
+		switch namedPath(recv) {
+		case "net/http.ResponseWriter", "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	// fmt.Fprint* into an in-memory writer: the only error source is the
+	// writer, and these writers never fail.
+	if funcPkgPath(fn) == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		if tv, ok := c.pkg.Info.Types[call.Args[0]]; ok && isInMemWriter(tv.Type) {
+			return true
+		}
+	}
+	// io.Copy(io.Discard, ...): draining a body before close.
+	if funcPkgPath(fn) == "io" && (fn.Name() == "Copy" || fn.Name() == "CopyN" || fn.Name() == "CopyBuffer") && len(call.Args) > 0 {
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			if obj, ok := c.pkg.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Pkg().Path() == "io" && obj.Name() == "Discard" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isInMemWriter reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer — writers whose Write methods never return an error.
+func isInMemWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch namedPath(named) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// checkLostWrites flags writes to local error variables that nothing
+// ever reads afterwards: `err = g()` as the last touch, or an outer err
+// abandoned to a later shadow. Source order approximates control flow;
+// a read anywhere inside the same loop as the write counts, and
+// variables captured by closures are skipped (their reads run on their
+// own clock).
+func (c *errLostChecker) checkLostWrites() {
+	body := c.decl.Body
+
+	// Named results are read implicitly by every return: out of scope.
+	resultObjs := map[types.Object]bool{}
+	if c.decl.Type.Results != nil {
+		for _, f := range c.decl.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := c.pkg.Info.Defs[name]; obj != nil {
+					resultObjs[obj] = true
+				}
+			}
+		}
+	}
+
+	type objFacts struct {
+		writes   []token.Pos // positions of plain `=` writes (a := defines, reads follow or the compiler complains)
+		reads    []token.Pos
+		captured bool // appears inside a func literal: skip
+		addrOf   bool // &err taken: writes may happen anywhere
+	}
+	facts := map[types.Object]*objFacts{}
+	get := func(id *ast.Ident) (types.Object, *objFacts) {
+		obj := c.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = c.pkg.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil || resultObjs[obj] {
+			return nil, nil
+		}
+		// Locals of this function only: the object must live inside the
+		// declaration's extent.
+		if v.Pos() < c.decl.Pos() || v.Pos() > c.decl.End() {
+			return nil, nil
+		}
+		if !implementsError(v.Type()) {
+			return nil, nil
+		}
+		f := facts[obj]
+		if f == nil {
+			f = &objFacts{}
+			facts[obj] = f
+		}
+		return obj, f
+	}
+
+	var loops []ast.Node
+	loopOf := func(pos token.Pos) ast.Node {
+		for i := len(loops) - 1; i >= 0; i-- {
+			if loops[i].Pos() <= pos && pos <= loops[i].End() {
+				return loops[i]
+			}
+		}
+		return nil
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok {
+					if _, f := get(id); f != nil {
+						f.captured = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if _, f := get(id); f != nil {
+						f.addrOf = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					if _, f := get(id); f != nil && n.Tok == token.ASSIGN {
+						f.writes = append(f.writes, id.Pos())
+					}
+				}
+			}
+			for _, rhs := range n.Rhs {
+				ast.Inspect(rhs, func(x ast.Node) bool {
+					if id, ok := x.(*ast.Ident); ok {
+						if _, f := get(id); f != nil {
+							f.reads = append(f.reads, id.Pos())
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.Ident:
+			if _, f := get(n); f != nil {
+				f.reads = append(f.reads, n.Pos())
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for obj, f := range facts {
+		if f.captured || f.addrOf {
+			continue
+		}
+		for _, w := range f.writes {
+			lost := true
+			wLoop := loopOf(w)
+			for _, r := range f.reads {
+				if r > w {
+					lost = false
+					break
+				}
+				if wLoop != nil && wLoop.Pos() <= r && r <= wLoop.End() {
+					lost = false // read at the top of the same loop
+					break
+				}
+			}
+			if lost {
+				c.p.Reportf(w, "error assigned to %s is never checked afterwards in %s: the failure is lost (did a later := shadow it?)", obj.Name(), c.fn)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak demands a bounded lifecycle for every goroutine the serving
+// layer spawns. A daemon that serves millions of requests cannot afford
+// fire-and-forget goroutines: each one is a leak candidate (blocked on
+// a channel nobody will ever service), a shutdown hazard (work racing
+// process exit), and an unbounded-concurrency hazard (one goroutine per
+// request with no pool, no semaphore, no cancellation). The paper's
+// refresh-epoch fencing makes this concrete: a stray goroutine from a
+// previous epoch writing into the new one is exactly the stale-state
+// bug the fence exists to stop.
+//
+// A `go` statement in service/ or client/ non-test code passes if the
+// spawned work is demonstrably tied to a lifecycle:
+//
+//   - sync.WaitGroup accounting: the spawned body (or the named
+//     function it calls, resolved one hop through the call graph)
+//     touches a sync.WaitGroup — worker-pool bookkeeping;
+//   - context-carrying: the body references a context.Context value, or
+//     the call passes one — the work dies with its context;
+//   - channel-driven: the body receives from, selects on, or ranges
+//     over a channel — a worker drained and terminated by channel
+//     close, or a completion-triggered closure.
+//
+// Anything else — and any spawn whose target the call graph cannot
+// resolve, like a stored function value — is flagged.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "service/client goroutines must be tied to a bounded lifecycle (WaitGroup, context, or channel)",
+	Run:  runGoroLeak,
+}
+
+var goroLeakScope = []string{"service", "client"}
+
+func runGoroLeak(p *Pass) {
+	g := p.Module.callGraph()
+	for _, pkg := range p.Module.Pkgs {
+		if !pkgInScope(p.Module, pkg, goroLeakScope) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if p.Module.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !p.goroBounded(g, pkg, gs) {
+					p.Reportf(gs.Pos(), "fire-and-forget goroutine in %s: tie it to a bounded lifecycle (worker pool, sync.WaitGroup, or a context-carrying closure)",
+						pkg.Path)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// goroBounded reports whether the spawned work is tied to a lifecycle.
+func (p *Pass) goroBounded(g *CallGraph, pkg *Package, gs *ast.GoStmt) bool {
+	// A context handed to the spawned function bounds it from outside.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	// Find the body that will run: a literal right here, or the named
+	// module function being spawned.
+	var body *ast.BlockStmt
+	var bodyPkg *Package
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body, bodyPkg = fun.Body, pkg
+	default:
+		if targets := g.Targets(pkg, gs.Call); len(targets) > 0 {
+			// For an interface dispatch every implementer must be bounded.
+			for _, t := range targets {
+				if !bodyBounded(t.Pkg, t.Decl.Body) {
+					return false
+				}
+			}
+			return true
+		}
+		return false // unresolvable spawn target: cannot prove a lifecycle
+	}
+	return bodyBounded(bodyPkg, body)
+}
+
+// bodyBounded scans one spawned body for lifecycle evidence.
+func bodyBounded(pkg *Package, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				bounded = true // completion-triggered or worker receive
+			}
+		case *ast.SelectStmt:
+			bounded = true
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					bounded = true
+				}
+			}
+		case ast.Expr:
+			if tv, ok := pkg.Info.Types[n]; ok {
+				if isContextType(tv.Type) || isWaitGroupType(tv.Type) {
+					bounded = true
+				}
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && namedPath(named) == "context.Context"
+}
+
+// isWaitGroupType reports whether t is (a pointer to) sync.WaitGroup.
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && namedPath(named) == "sync.WaitGroup"
+}

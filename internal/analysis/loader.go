@@ -25,8 +25,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -45,6 +47,9 @@ type Module struct {
 	Fset   *token.FileSet
 	Pkgs   []*Package // dependency order: imports precede importers
 	byPath map[string]*Package
+
+	cg   *CallGraph // lazily built by callGraph()
+	sums *summaries // lazily built by summarize()
 }
 
 // Lookup returns the module package with the given import path, or nil.
@@ -92,15 +97,55 @@ func Load(dir string, cfg LoadConfig) (*Module, error) {
 		m:   m,
 		std: importer.ForCompiler(fset, "source", nil),
 	}
-	for _, rp := range order {
-		pkg, err := typecheck(fset, rp, imp)
-		if err != nil {
-			return nil, err
+	// Type-check level by level: every package's module-internal imports
+	// live in strictly earlier levels, so the members of one level are
+	// independent and check concurrently. byPath is only written at the
+	// level barrier, so the importer reads it without locking.
+	for _, lvl := range levelize(order) {
+		pkgs := make([]*Package, len(lvl))
+		errs := make([]error, len(lvl))
+		var wg sync.WaitGroup
+		for i, rp := range lvl {
+			wg.Add(1)
+			go func(i int, rp *rawPkg) {
+				defer wg.Done()
+				pkgs[i], errs[i] = typecheck(fset, rp, imp)
+			}(i, rp)
 		}
-		m.Pkgs = append(m.Pkgs, pkg)
-		m.byPath[pkg.Path] = pkg
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, pkg := range pkgs {
+			m.Pkgs = append(m.Pkgs, pkg)
+			m.byPath[pkg.Path] = pkg
+		}
 	}
 	return m, nil
+}
+
+// levelize groups the topologically ordered packages into dependency
+// levels: a package's level is one past its deepest module-internal
+// import. Iterating the order (imports first) makes this a single pass.
+func levelize(order []*rawPkg) [][]*rawPkg {
+	level := make(map[string]int, len(order))
+	var out [][]*rawPkg
+	for _, rp := range order {
+		l := 0
+		for _, dep := range rp.imports {
+			if dl, ok := level[dep]; ok && dl+1 > l {
+				l = dl + 1
+			}
+		}
+		level[rp.path] = l
+		for len(out) <= l {
+			out = append(out, nil)
+		}
+		out[l] = append(out[l], rp)
+	}
+	return out
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the
@@ -139,9 +184,12 @@ func modulePath(gomod []byte) string {
 	return ""
 }
 
-// parseModule walks the module tree and parses every package.
+// parseModule walks the module tree and parses every package. The walk
+// only collects directories; the parsing itself fans out across them —
+// token.FileSet serializes AddFile internally, so concurrent ParseFile
+// calls into one fset are safe.
 func parseModule(fset *token.FileSet, root, modPath string, cfg LoadConfig) (map[string]*rawPkg, error) {
-	raw := make(map[string]*rawPkg)
+	var dirs []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -160,17 +208,34 @@ func parseModule(fset *token.FileSet, root, modPath string, cfg LoadConfig) (map
 				return filepath.SkipDir
 			}
 		}
-		rp, err := parseDir(fset, root, modPath, path, cfg)
-		if err != nil {
-			return err
-		}
-		if rp != nil {
-			raw[rp.path] = rp
-		}
+		dirs = append(dirs, path)
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	rps := make([]*rawPkg, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rps[i], errs[i] = parseDir(fset, root, modPath, dir, cfg)
+		}(i, dir)
+	}
+	wg.Wait()
+	raw := make(map[string]*rawPkg, len(rps))
+	for i, rp := range rps {
+		if errs[i] != nil {
+			return nil, errs[i] // first error in walk order, deterministically
+		}
+		if rp != nil {
+			raw[rp.path] = rp
+		}
 	}
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("analysis: no Go packages under %s", root)
@@ -286,6 +351,7 @@ func toposort(raw map[string]*rawPkg) ([]*rawPkg, error) {
 // packages and delegates everything else to the $GOROOT source importer.
 type moduleImporter struct {
 	m   *Module
+	mu  sync.Mutex // the source importer is not safe for concurrent use
 	std types.Importer
 }
 
@@ -299,7 +365,9 @@ func (mi *moduleImporter) Import(path string) (*types.Package, error) {
 		}
 		return nil, fmt.Errorf("analysis: internal import %q not loaded (cycle?)", path)
 	}
+	mi.mu.Lock()
 	pkg, err := mi.std.Import(path)
+	mi.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("analysis: importing %q: %w", path, err)
 	}

@@ -16,14 +16,19 @@ import (
 // channel wait under a lock is one step from a deadlock with whoever
 // must take the same lock to send.
 //
-// The check is intra-procedural and syntactic: within one function body
-// it tracks sync.Mutex/RWMutex Lock/RLock acquisitions (including defer
-// Unlock, which holds to the end of the function) and flags, while any
-// lock is held: channel sends, channel receives, selects without a
-// default, range-over-channel, and calls to HTTP round-trip methods
-// (Client.Do and friends, RoundTrip, any Do(*http.Request) transport).
-// Spawning a goroutine under a lock is fine — the goroutine doesn't
-// hold it.
+// Within one function body it tracks sync.Mutex/RWMutex Lock/RLock
+// acquisitions (including defer Unlock, which holds to the end of the
+// function) and flags, while any lock is held: channel sends, channel
+// receives, selects without a default, range-over-channel, and calls to
+// HTTP round-trip methods (Client.Do and friends, RoundTrip, any
+// Do(*http.Request) transport). Spawning a goroutine under a lock is
+// fine — the goroutine doesn't hold it.
+//
+// The check is interprocedural through the summary layer: a call to a
+// module function that may block — transitively, through any chain of
+// module calls or an interface dispatch — is flagged exactly like a
+// direct channel wait, and the finding shows the chain
+// ("(*Server).relay → (*Server).wait → channel receive").
 var LockHold = &Analyzer{
 	Name: "lockhold",
 	Doc:  "no mutex may be held across an HTTP round-trip or channel wait in service code",
@@ -36,28 +41,23 @@ var LockHold = &Analyzer{
 var lockHoldScope = []string{"service", "client"}
 
 func runLockHold(p *Pass) {
+	sums := p.Module.summarize()
 	for _, pkg := range p.Module.Pkgs {
-		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, p.Module.Path), "/")
-		inScope := false
-		for _, s := range lockHoldScope {
-			if rel == s || strings.HasPrefix(rel, s+"/") {
-				inScope = true
-			}
-		}
-		if !inScope {
+		if !pkgInScope(p.Module, pkg, lockHoldScope) {
 			continue
 		}
 		eachFuncBody(pkg, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
-			lh := &lockHoldChecker{p: p, pkg: pkg, fn: name}
+			lh := &lockHoldChecker{p: p, pkg: pkg, fn: name, sums: sums}
 			lh.block(body, map[string]bool{})
 		})
 	}
 }
 
 type lockHoldChecker struct {
-	p   *Pass
-	pkg *Package
-	fn  string
+	p    *Pass
+	pkg  *Package
+	fn   string
+	sums *summaries
 }
 
 // block scans one block with the set of locks held at entry. held maps
@@ -182,8 +182,18 @@ func (c *lockHoldChecker) checkExpr(e ast.Expr, held map[string]bool) {
 				c.flagChan(n.Pos(), "channel receive", held)
 			}
 		case *ast.CallExpr:
-			if name, ok := c.httpRoundTrip(n); ok {
+			if name, ok := httpRoundTripCall(c.pkg, n); ok {
 				c.flag(n.Pos(), "HTTP round-trip "+name, held)
+				return true
+			}
+			// Interprocedural: a module callee (or any implementer, for an
+			// interface dispatch) that may block, blocks us — the summary
+			// carries the chain down to the ground-truth wait.
+			for _, target := range c.sums.g.Targets(c.pkg, n) {
+				if tsum := c.sums.of(target.Fn); tsum != nil && tsum.Blocks != nil {
+					c.flag(n.Pos(), "call to "+tsum.Blocks.prepend(displayName(target.Fn)).String(), held)
+					break
+				}
 			}
 		}
 		return true
@@ -214,38 +224,6 @@ func (c *lockHoldChecker) lockOp(e ast.Expr) (lock, op string) {
 		return "", ""
 	}
 	return exprString(sel.X), op
-}
-
-// httpRoundTrip reports whether the call is an HTTP round-trip: a
-// net/http package function that performs a request, a method named
-// Do/RoundTrip taking *http.Request, or http.Client convenience
-// methods.
-func (c *lockHoldChecker) httpRoundTrip(call *ast.CallExpr) (string, bool) {
-	fn := calleeFunc(c.pkg, call)
-	if fn == nil {
-		return "", false
-	}
-	if funcPkgPath(fn) == "net/http" {
-		switch fn.Name() {
-		case "Get", "Head", "Post", "PostForm":
-			return "http." + fn.Name(), true
-		}
-	}
-	switch fn.Name() {
-	case "Do", "RoundTrip":
-		sig, ok := fn.Type().(*types.Signature)
-		if !ok || sig.Params().Len() != 1 {
-			return "", false
-		}
-		pt, ok := sig.Params().At(0).Type().(*types.Pointer)
-		if !ok {
-			return "", false
-		}
-		if named, ok := pt.Elem().(*types.Named); ok && namedPath(named) == "net/http.Request" {
-			return fn.Name() + "(*http.Request)", true
-		}
-	}
-	return "", false
 }
 
 func (c *lockHoldChecker) flagChan(pos token.Pos, what string, held map[string]bool) {

@@ -22,12 +22,15 @@ import (
 //     incoming request (*http.Request selectors/methods or a decoded
 //     request body).
 //
-// The taint tracking is intra-procedural and forward: request-derived
-// values stay tainted through assignments, string conversion and
-// concatenation, and fmt.Sprintf; lookups through a registry or
-// validation switch naturally break the chain, which is exactly the
-// sanctioned way to bound a label (only registered tenants get a
-// series).
+// The taint tracking is forward: request-derived values stay tainted
+// through assignments, string conversion and concatenation, and
+// fmt.Sprintf; lookups through a registry or validation switch
+// naturally break the chain, which is exactly the sanctioned way to
+// bound a label (only registered tenants get a series). The check is
+// interprocedural through the summary layer: handing a request-derived
+// value to a helper whose parameter ends up in a WithLabelValues call —
+// any number of hops down — is the same finding, reported at the hand-
+// off with the call chain.
 var MetricLabels = &Analyzer{
 	Name: "metriclabels",
 	Doc:  "metric label values must derive from bounded sets, never raw request bytes",
@@ -36,6 +39,7 @@ var MetricLabels = &Analyzer{
 
 func runMetricLabels(p *Pass) {
 	metricsPath := p.Module.Path + "/service/metrics"
+	sums := p.Module.summarize()
 	for _, pkg := range p.Module.Pkgs {
 		if pkg.Path == metricsPath {
 			continue // the instrument library itself is exempt
@@ -47,26 +51,56 @@ func runMetricLabels(p *Pass) {
 				if !ok {
 					return true
 				}
-				fn := calleeFunc(pkg, call)
-				if fn == nil || fn.Name() != "WithLabelValues" {
+				if vec, ok := vecWithLabelValues(p.Module, pkg, call); ok {
+					for i, arg := range call.Args {
+						if isBoundedLabel(pkg, arg) {
+							continue
+						}
+						if taintedExpr(pkg, arg, tainted) {
+							p.Reportf(arg.Pos(), "label value %d of %s.WithLabelValues derives from raw request bytes in %s: label sets must be bounded (validate against a registry or map to constants first)",
+								i+1, vec, name)
+						}
+					}
 					return true
 				}
-				recv := recvNamed(fn)
-				if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != metricsPath {
-					return true
-				}
-				for i, arg := range call.Args {
-					if isBoundedLabel(pkg, arg) {
-						continue
-					}
-					if taintedExpr(pkg, arg, tainted) {
-						p.Reportf(arg.Pos(), "label value %d of %s.WithLabelValues derives from raw request bytes in %s: label sets must be bounded (validate against a registry or map to constants first)",
-							i+1, recv.Obj().Name(), name)
-					}
-				}
+				p.checkLabelEscape(sums, pkg, name, call, tainted)
 				return true
 			})
 		})
+	}
+}
+
+// checkLabelEscape is the interprocedural half: a request-derived value
+// handed to a module function whose summary says that parameter becomes
+// a metric label — any number of hops down — mints unbounded series
+// just as surely as passing it to WithLabelValues directly.
+func (p *Pass) checkLabelEscape(sums *summaries, pkg *Package, caller string, call *ast.CallExpr, tainted map[types.Object]bool) {
+	targets := sums.g.Targets(pkg, call)
+	if len(targets) == 0 {
+		return
+	}
+	for k, arg := range call.Args {
+		if isBoundedLabel(pkg, arg) || !taintedExpr(pkg, arg, tainted) {
+			continue
+		}
+		for _, target := range targets {
+			tsum := sums.of(target.Fn)
+			if tsum == nil {
+				continue
+			}
+			sig, _ := target.Fn.Type().(*types.Signature)
+			j := paramIndex(sig, k)
+			if j < 0 {
+				continue
+			}
+			t, ok := tsum.LabelParams[j]
+			if !ok {
+				continue
+			}
+			p.Reportf(arg.Pos(), "request-derived value becomes a metric label via %s in %s: label sets must be bounded (validate against a registry or map to constants first)",
+				t.prepend(displayName(target.Fn)), caller)
+			break
+		}
 	}
 }
 

@@ -214,6 +214,7 @@ func runSecretFlow(p *Pass) {
 	if len(secrets.roots) == 0 {
 		return
 	}
+	sums := p.Module.summarize()
 	for _, pkg := range p.Module.Pkgs {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -222,8 +223,45 @@ func runSecretFlow(p *Pass) {
 					return true
 				}
 				p.checkSecretCall(secrets, pkg, call)
+				p.checkSecretEscape(secrets, sums, pkg, call)
 				return true
 			})
+		}
+	}
+}
+
+// checkSecretEscape is the interprocedural half: a secret value passed
+// to a module function whose summary says that parameter reaches a
+// formatting sink — possibly several calls down, possibly through an
+// interface — leaks just as surely as a direct fmt.Printf argument. The
+// finding carries the whole call chain.
+func (p *Pass) checkSecretEscape(secrets *secretSet, sums *summaries, pkg *Package, call *ast.CallExpr) {
+	targets := sums.g.Targets(pkg, call)
+	if len(targets) == 0 {
+		return
+	}
+	for k, arg := range call.Args {
+		if !secrets.isSecretExpr(pkg, arg) {
+			continue
+		}
+		for _, target := range targets {
+			tsum := sums.of(target.Fn)
+			if tsum == nil {
+				continue
+			}
+			sig, _ := target.Fn.Type().(*types.Signature)
+			j := paramIndex(sig, k)
+			if j < 0 {
+				continue
+			}
+			t, ok := tsum.SinkParams[j]
+			if !ok {
+				continue
+			}
+			tv := pkg.Info.Types[ast.Unparen(arg)]
+			p.Reportf(arg.Pos(), "secret value (type %s) leaks via %s: key material must never be formatted, logged, or JSON-marshaled",
+				types.TypeString(tv.Type, nil), t.prepend(displayName(target.Fn)))
+			break // one chain per argument is enough evidence
 		}
 	}
 }

@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Function summaries: the per-function facts the interprocedural
+// analyzers consume, computed once per module in bottom-up SCC order so
+// every callee's summary exists before its callers ask for it
+// (components with recursion iterate to a fixpoint; the facts are
+// monotone booleans with attached traces, so two rounds settle them).
+//
+// Three fact families:
+//
+//   - SinkParams: parameter i, handed a value, forwards it to a
+//     formatting/logging/JSON sink (fmt.Sprintf, slog.Any, Encoder.
+//     Encode, ...) — directly or through further module calls. The
+//     trace records the chain ("dump → fmt.Sprintf") so a finding at a
+//     call site can show the whole path.
+//   - LabelParams: parameter i ends up as a metric label value in a
+//     WithLabelValues call on a service/metrics vec.
+//   - Blocks: the function may block indefinitely on the outside world
+//     — a channel send/receive, a select without default, a range over
+//     a channel, an HTTP round-trip — directly or transitively through
+//     statement-context calls. Function literals, go statements, and
+//     deferred calls do not propagate Blocks: their bodies run on other
+//     goroutines or at return, not at the call site.
+//
+// Sink and label facts DO look inside function literals: a leak is a
+// leak whenever the closure eventually runs.
+
+// A trace is the call chain from a fact to its ground truth, rendered
+// "helper → dump → fmt.Sprintf".
+type trace []string
+
+func (t trace) String() string { return strings.Join(t, " → ") }
+
+// prepend returns a new trace with one call-chain step in front.
+func (t trace) prepend(step string) trace {
+	out := make(trace, 0, len(t)+1)
+	out = append(out, step)
+	return append(out, t...)
+}
+
+// Summary is one function's interprocedural facts.
+type Summary struct {
+	SinkParams  map[int]trace // param index -> chain to a formatting sink
+	LabelParams map[int]trace // param index -> chain to WithLabelValues
+	Blocks      trace         // non-nil: chain to a blocking operation
+}
+
+type summaries struct {
+	m       *Module
+	g       *CallGraph
+	byFn    map[*types.Func]*Summary
+	secrets *secretSet
+}
+
+// summarize computes (once) every module function's summary.
+func (m *Module) summarize() *summaries {
+	if m.sums != nil {
+		return m.sums
+	}
+	s := &summaries{m: m, g: m.callGraph(), byFn: make(map[*types.Func]*Summary), secrets: newSecretSet(m)}
+	for _, comp := range s.g.sccs {
+		for _, n := range comp {
+			s.byFn[n.Fn] = &Summary{
+				SinkParams:  map[int]trace{},
+				LabelParams: map[int]trace{},
+			}
+		}
+		// Within one SCC the members can call each other; iterate until
+		// no member learns a new fact.
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if s.scan(n) {
+					changed = true
+				}
+			}
+		}
+	}
+	m.sums = s
+	return s
+}
+
+// of returns fn's summary (nil for stdlib and bodyless functions).
+func (s *summaries) of(fn *types.Func) *Summary { return s.byFn[fn] }
+
+// scan (re)derives one function's facts; reports whether anything new
+// was learned.
+func (s *summaries) scan(n *FuncNode) bool {
+	sum := s.byFn[n.Fn]
+	masks := paramMasks(n)
+	changed := false
+
+	set := func(dst map[int]trace, bits uint64, t trace) {
+		for i := 0; bits != 0; i++ {
+			if bits&(1<<i) != 0 {
+				bits &^= 1 << i
+				if _, ok := dst[i]; !ok {
+					dst[i] = t
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Sink and label facts: every call in the body, closures included.
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sinkName, ok := classifySinkCall(n.Pkg, call); ok {
+			for _, arg := range call.Args {
+				if s.secretish(n.Pkg, arg) {
+					set(sum.SinkParams, exprMask(n.Pkg, arg, masks), trace{sinkName})
+				}
+			}
+			return true
+		}
+		if vec, ok := vecWithLabelValues(s.m, n.Pkg, call); ok {
+			for _, arg := range call.Args {
+				set(sum.LabelParams, exprMask(n.Pkg, arg, masks), trace{vec + ".WithLabelValues"})
+			}
+			return true
+		}
+		for _, target := range s.g.Targets(n.Pkg, call) {
+			tsum := s.byFn[target.Fn]
+			if tsum == nil {
+				continue
+			}
+			sig, _ := target.Fn.Type().(*types.Signature)
+			for k, arg := range call.Args {
+				j := paramIndex(sig, k)
+				if j < 0 {
+					continue
+				}
+				bits := exprMask(n.Pkg, arg, masks)
+				if bits == 0 {
+					continue
+				}
+				if t, ok := tsum.SinkParams[j]; ok && s.secretish(n.Pkg, arg) {
+					set(sum.SinkParams, bits, t.prepend(displayName(target.Fn)))
+				}
+				if t, ok := tsum.LabelParams[j]; ok {
+					set(sum.LabelParams, bits, t.prepend(displayName(target.Fn)))
+				}
+			}
+		}
+		return true
+	})
+
+	// Blocking facts: statement context only.
+	if sum.Blocks == nil {
+		if t := s.blockTrace(n.Pkg, n.Decl.Body); t != nil {
+			sum.Blocks = t
+			changed = true
+		}
+	}
+	return changed
+}
+
+// blockTrace finds the first operation in body that can block the
+// calling goroutine, skipping function literals, go statements, and
+// deferred calls (they run elsewhere or later).
+func (s *summaries) blockTrace(pkg *Package, body ast.Node) trace {
+	var found trace
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			found = trace{"channel send"}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = trace{"channel receive"}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				found = trace{"select with no default"}
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = trace{"range over channel"}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := httpRoundTripCall(pkg, x); ok {
+				found = trace{"HTTP round-trip " + name}
+				return false
+			}
+			for _, target := range s.g.Targets(pkg, x) {
+				if tsum := s.byFn[target.Fn]; tsum != nil && tsum.Blocks != nil {
+					found = tsum.Blocks.prepend(displayName(target.Fn))
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// secretish reports whether the expression could carry key material
+// onward: its type is secret (or a scalar selected from a secret base),
+// or it is type-erased behind an interface, where the type system can
+// no longer rule secrecy out. This mirrors isSecretExpr's discipline in
+// the summary layer — without it, `share.Index` handed to fmt.Errorf
+// would mark the whole share parameter as sink-reaching.
+func (s *summaries) secretish(pkg *Package, e ast.Expr) bool {
+	if s.secrets.isSecretExpr(pkg, e) {
+		return true
+	}
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isIface := tv.Type.Underlying().(*types.Interface)
+	return isIface
+}
+
+// paramMasks seeds the taint masks: each declared parameter object gets
+// one bit. Parameters beyond 64 are untracked (no function here comes
+// close).
+func paramMasks(n *FuncNode) map[types.Object]uint64 {
+	masks := make(map[types.Object]uint64)
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok {
+		return masks
+	}
+	for i := 0; i < sig.Params().Len() && i < 64; i++ {
+		if p := sig.Params().At(i); p.Name() != "" && p.Name() != "_" {
+			masks[p] = 1 << i
+		}
+	}
+	// Grow through local assignments: x := param; wrapped := S{f: param}.
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						changed = propagateMask(n.Pkg, x.Lhs[i], exprMask(n.Pkg, x.Rhs[i], masks), masks) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range x.Values {
+					if i < len(x.Names) {
+						if obj := n.Pkg.Info.Defs[x.Names[i]]; obj != nil {
+							bits := exprMask(n.Pkg, v, masks)
+							if bits&^masks[obj] != 0 {
+								masks[obj] |= bits
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return masks
+}
+
+func propagateMask(pkg *Package, lhs ast.Expr, bits uint64, masks map[types.Object]uint64) bool {
+	if bits == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pkg.Info.Defs[id]
+	if obj == nil {
+		obj = pkg.Info.Uses[id]
+	}
+	if obj == nil || bits&^masks[obj] == 0 {
+		return false
+	}
+	masks[obj] |= bits
+	return true
+}
+
+// exprMask returns the set of parameters (as a bitmask) the expression
+// is derived from. Calls cut the derivation — a call result is the
+// callee's output, and the callee's own summary covers what happened to
+// the argument — with one exception: composite literals and references
+// keep it, so wrapping a parameter in a struct or slice stays tracked.
+func exprMask(pkg *Package, e ast.Expr, masks map[types.Object]uint64) uint64 {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return masks[obj]
+		}
+	case *ast.SelectorExpr:
+		return exprMask(pkg, e.X, masks)
+	case *ast.IndexExpr:
+		return exprMask(pkg, e.X, masks)
+	case *ast.SliceExpr:
+		return exprMask(pkg, e.X, masks)
+	case *ast.StarExpr:
+		return exprMask(pkg, e.X, masks)
+	case *ast.UnaryExpr:
+		return exprMask(pkg, e.X, masks)
+	case *ast.BinaryExpr:
+		return exprMask(pkg, e.X, masks) | exprMask(pkg, e.Y, masks)
+	case *ast.CompositeLit:
+		var bits uint64
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			bits |= exprMask(pkg, el, masks)
+		}
+		return bits
+	case *ast.CallExpr:
+		// Type conversions pass the value through unchanged.
+		if tv, ok := pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return exprMask(pkg, e.Args[0], masks)
+		}
+	}
+	return 0
+}
+
+// paramIndex maps argument position k to the callee's parameter index,
+// collapsing variadic tails onto the last parameter. -1 when the call
+// supplies more arguments than a non-variadic signature takes (a type
+// error the checker already rejected; defensive).
+func paramIndex(sig *types.Signature, k int) int {
+	if sig == nil {
+		return -1
+	}
+	np := sig.Params().Len()
+	if k < np {
+		return k
+	}
+	if sig.Variadic() && np > 0 {
+		return np - 1
+	}
+	return -1
+}
+
+// classifySinkCall reports whether the call is a formatting/logging/
+// JSON sink (the secretflow tables) and names it.
+func classifySinkCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	if recv := recvNamed(fn); recv != nil {
+		if sinkMethods[namedPath(recv)][fn.Name()] {
+			return "(" + namedPath(recv) + ")." + fn.Name(), true
+		}
+		return "", false
+	}
+	if sinkFuncs[funcPkgPath(fn)][fn.Name()] {
+		return funcPkgPath(fn) + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// vecWithLabelValues reports whether the call is WithLabelValues on a
+// service/metrics vec and names the vec type.
+func vecWithLabelValues(m *Module, pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Name() != "WithLabelValues" {
+		return "", false
+	}
+	recv := recvNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != m.Path+"/service/metrics" {
+		return "", false
+	}
+	return recv.Obj().Name(), true
+}
+
+// httpRoundTripCall reports whether the call performs an HTTP
+// round-trip: a net/http request helper, or a Do/RoundTrip method
+// taking *http.Request.
+func httpRoundTripCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	if funcPkgPath(fn) == "net/http" {
+		switch fn.Name() {
+		case "Get", "Head", "Post", "PostForm":
+			return "http." + fn.Name(), true
+		}
+	}
+	switch fn.Name() {
+	case "Do", "RoundTrip":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 {
+			return "", false
+		}
+		pt, ok := sig.Params().At(0).Type().(*types.Pointer)
+		if !ok {
+			return "", false
+		}
+		if named, ok := pt.Elem().(*types.Named); ok && namedPath(named) == "net/http.Request" {
+			return fn.Name() + "(*http.Request)", true
+		}
+	}
+	return "", false
+}

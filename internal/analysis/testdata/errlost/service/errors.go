@@ -1,0 +1,86 @@
+// Corpus for the errlost analyzer: blank-discarded, statement-dropped,
+// and never-read error writes are findings; the sanctioned discard
+// idioms (deferred Close, ResponseWriter writes, io.Discard drains,
+// in-memory writers) are clean.
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+func discards(w http.ResponseWriter, r io.Reader, f *os.File) {
+	_ = fail() // want `error discarded with _ in discards`
+
+	v, _ := value() // want `error result 2 of the call discarded with _ in discards`
+	_ = v
+
+	fail() // want `call result carries an error that is dropped in discards`
+
+	// Sanctioned idioms, all clean:
+	defer f.Close()                // deferred cleanup
+	f.Close()                      // Close() error in statement position
+	_, _ = w.Write([]byte("gone")) // the peer already hung up
+	_, _ = io.Copy(io.Discard, r)  // drain-before-close
+	var b strings.Builder
+	b.WriteString("x")         // in-memory writer never fails
+	fmt.Fprintf(&b, "n=%d", 1) // Fprintf into an in-memory writer
+	var buf bytes.Buffer
+	buf.WriteByte('y') // in-memory writer never fails
+}
+
+func lostWrite() error {
+	err := fail()
+	if err != nil {
+		return err
+	}
+	err = fail() // want `error assigned to err is never checked afterwards in lostWrite`
+	return nil
+}
+
+func shadowLoss() error {
+	err := fail()
+	if err != nil {
+		return err
+	}
+	err = fail() // want `error assigned to err is never checked afterwards in shadowLoss`
+	if err2 := fail(); err2 != nil {
+		return err2
+	}
+	return nil
+}
+
+// retryLoop is clean: the write at the bottom of the loop is read by
+// the next iteration's check and by the final return.
+func retryLoop() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = fail()
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// handled is the baseline: checked errors produce nothing.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := value()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}

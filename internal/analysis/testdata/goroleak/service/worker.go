@@ -1,0 +1,73 @@
+// Corpus for the goroleak analyzer: every goroutine the serving layer
+// spawns must be tied to a bounded lifecycle — worker pool draining a
+// channel, sync.WaitGroup accounting, or a context that dies with the
+// request. Fire-and-forget spawns and unresolvable targets are
+// findings.
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+func work() {}
+
+// worker drains the job channel: channel close terminates it.
+func (p *pool) worker() {
+	for j := range p.jobs {
+		_ = j
+	}
+}
+
+// waiter blocks on a completion channel: a bounded one-shot.
+func (p *pool) waiter(done chan struct{}) {
+	<-done
+}
+
+func (p *pool) run(ctx context.Context, done chan struct{}) {
+	go p.worker() // clean: the spawned body ranges over a channel
+
+	go p.waiter(done) // clean: the spawned body receives from a channel
+
+	go func() { // clean: WaitGroup accounting
+		defer p.wg.Done()
+		work()
+	}()
+
+	go func() { // clean: the body watches its context
+		<-ctx.Done()
+	}()
+
+	go handle(ctx, 1) // clean: a context argument bounds the work
+
+	go func() { // clean: select ties the body to its channels
+		select {
+		case j := <-p.jobs:
+			_ = j
+		case <-done:
+		}
+	}()
+
+	go work() // want `fire-and-forget goroutine`
+
+	go func() { // want `fire-and-forget goroutine`
+		for {
+			work()
+		}
+	}()
+}
+
+func handle(ctx context.Context, n int) {
+	<-ctx.Done()
+}
+
+// spawnValue launches a stored function value: the call graph cannot
+// resolve the body, so no lifecycle can be proven.
+func spawnValue(f func()) {
+	go f() // want `fire-and-forget goroutine`
+}

@@ -75,3 +75,32 @@ func (s *Server) GoodNonBlockingSelect() {
 	default: // clean: cannot block
 	}
 }
+
+// waitJob blocks on the job channel; its summary records that, so
+// callers holding a lock inherit the finding with the chain.
+func (s *Server) waitJob() int {
+	return <-s.jobs
+}
+
+// relayWait adds a second hop between the lock and the wait.
+func (s *Server) relayWait() int {
+	return s.waitJob()
+}
+
+func (s *Server) BadCallWait() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waitJob() // want `call to \(\*Server\)\.waitJob → channel receive while holding s.mu`
+}
+
+func (s *Server) BadCallTwoHops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.relayWait() // want `call to \(\*Server\)\.relayWait → \(\*Server\)\.waitJob → channel receive while holding s.mu`
+}
+
+func (s *Server) GoodCallAfterUnlock() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.waitJob() // clean: the lock is already released
+}

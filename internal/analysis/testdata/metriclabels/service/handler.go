@@ -44,3 +44,24 @@ func handle(w http.ResponseWriter, r *http.Request) {
 	key := "tenant:" + strings.ToLower(group)
 	requests.WithLabelValues(opSign, key).Inc() // want `label value 2 of CounterVec.WithLabelValues derives from raw request bytes`
 }
+
+// record hands its parameter straight to WithLabelValues; its summary
+// makes passing request-derived values to it a finding at the caller.
+func record(op, v string) {
+	requests.WithLabelValues(op, v).Inc()
+}
+
+// tally adds a second hop before the label lands.
+func tally(v string) {
+	record(opSign, v)
+}
+
+func handleViaHelper(w http.ResponseWriter, r *http.Request) {
+	group := r.PathValue("group")
+
+	record(opSign, groupLabel(group)) // clean: bounded by the renderer
+
+	record(opSign, group) // want `request-derived value becomes a metric label via record → CounterVec\.WithLabelValues`
+
+	tally(group) // want `request-derived value becomes a metric label via tally → record → CounterVec\.WithLabelValues`
+}

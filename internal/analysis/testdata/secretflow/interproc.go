@@ -1,0 +1,57 @@
+// Interprocedural corpus for secretflow: leaks through helper
+// functions — one hop, two hops, and an interface-dispatched sink —
+// carry the whole call chain in the finding. The type discipline holds
+// across calls: handing a helper a non-secret field selected out of a
+// secret value is clean.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"repro/internal/core"
+)
+
+// dump forwards its argument to a formatting sink one hop down. The
+// parameter is type-erased, so the leak is invisible inside dump — only
+// the caller knows a secret went in.
+func dump(v any) string { return fmt.Sprintf("state=%v", v) }
+
+// relay → describe → fmt.Errorf: two module hops before the sink.
+func relay(v any) error { return describe(v) }
+
+func describe(v any) error { return fmt.Errorf("describing %v", v) }
+
+// sink is dispatched through an interface: the analyzer fans the call
+// out to every module implementer.
+type sink interface {
+	put(v any)
+}
+
+type logSink struct{}
+
+func (logSink) put(v any) { log.Println("put:", v) }
+
+// describeIndex formats only the share's integer index — a non-secret
+// scalar. The summary layer must not taint the whole parameter for it.
+func describeIndex(sk *core.PrivateKeyShare) error {
+	return fmt.Errorf("share index %d", sk.Index)
+}
+
+func interprocLeaks() {
+	sk := &core.PrivateKeyShare{Index: 2, A1: big.NewInt(3), B1: big.NewInt(5)}
+
+	_ = dump(sk) // want `secret value .* leaks via dump → fmt.Sprintf`
+
+	_ = relay(sk) // want `secret value .* leaks via relay → describe → fmt.Errorf`
+
+	var out sink = logSink{}
+	out.put(sk) // want `secret value .* leaks via \(logSink\)\.put → log.Println`
+
+	_ = describeIndex(sk) // clean: only the bounded index is formatted
+
+	// A non-secret value through the same leaky helpers is clean.
+	_ = dump("public configuration")
+	_ = relay(42)
+}

@@ -1,0 +1,153 @@
+// Package lintreport is the output contract shared by this repository's
+// linters (tsiglint, metricslint): one finding shape, one JSON report,
+// one text rendering, one GitHub Actions annotation format, and one set
+// of exit codes — so CI scripts every linter identically and a new tool
+// joins the suite by importing this package rather than re-inventing
+// the envelope.
+//
+// The contract:
+//
+//	exit 0  no findings
+//	exit 1  findings reported
+//	exit 2  usage or load/input failure
+//
+//	-json   {"tool": ..., "count": N, "findings": [{file, line, col,
+//	        analyzer, message}, ...]}  (findings is [] — never null)
+//
+//	text    file:line:col: [analyzer] message  (":col" omitted when the
+//	        source has no column, "[analyzer]" omitted when unset)
+//
+//	github  ::error file=...,line=...,col=...::message — GitHub Actions
+//	        workflow commands that annotate the diff view directly.
+package lintreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exit codes of the shared contract.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // findings reported
+	ExitError    = 2 // usage or load/input failure
+)
+
+// Finding is one linter violation with its source position.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Text renders the finding in the contract's text form.
+func (f Finding) Text() string {
+	var b strings.Builder
+	b.WriteString(f.File)
+	fmt.Fprintf(&b, ":%d", f.Line)
+	if f.Col > 0 {
+		fmt.Fprintf(&b, ":%d", f.Col)
+	}
+	b.WriteString(": ")
+	if f.Analyzer != "" {
+		fmt.Fprintf(&b, "[%s] ", f.Analyzer)
+	}
+	b.WriteString(f.Message)
+	return b.String()
+}
+
+// Report is the envelope a linter run produces.
+type Report struct {
+	Tool     string    `json:"tool"`
+	Count    int       `json:"count"`
+	Findings []Finding `json:"findings"`
+}
+
+// New builds a report, normalizing a nil finding slice to [] so the
+// JSON form always carries an array.
+func New(tool string, findings []Finding) Report {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	return Report{Tool: tool, Count: len(findings), Findings: findings}
+}
+
+// ExitCode maps the report to the contract's exit code (a load or usage
+// failure exits 2 before a report exists, so that case is the caller's).
+func (r Report) ExitCode() int {
+	if r.Count > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// WriteJSON emits the report as one indented JSON object.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText emits one text line per finding.
+func (r Report) WriteText(w io.Writer) error {
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintln(w, f.Text()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGitHub emits one GitHub Actions ::error workflow command per
+// finding, so a CI run annotates the offending lines in the diff view.
+func (r Report) WriteGitHub(w io.Writer) error {
+	for _, f := range r.Findings {
+		msg := f.Message
+		if f.Analyzer != "" {
+			msg = "[" + f.Analyzer + "] " + msg
+		}
+		props := fmt.Sprintf("file=%s,line=%d", escapeProperty(f.File), f.Line)
+		if f.Col > 0 {
+			props += fmt.Sprintf(",col=%d", f.Col)
+		}
+		if _, err := fmt.Fprintf(w, "::error %s::%s\n", props, escapeData(msg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write dispatches on the format name ("text", "json", "github").
+func (r Report) Write(w io.Writer, format string) error {
+	switch format {
+	case "text":
+		return r.WriteText(w)
+	case "json":
+		return r.WriteJSON(w)
+	case "github":
+		return r.WriteGitHub(w)
+	}
+	return fmt.Errorf("lintreport: unknown format %q (want text, json, or github)", format)
+}
+
+// escapeData escapes a workflow-command message: %, CR, and LF carry
+// meaning in the command grammar.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

@@ -1,0 +1,69 @@
+package lintreport
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewNormalizesNil(t *testing.T) {
+	rep := New("tool", nil)
+	if rep.Findings == nil || rep.Count != 0 {
+		t.Fatalf("New(nil) = %+v, want empty non-nil findings", rep)
+	}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"findings": []`) {
+		t.Errorf("empty report must render findings as [], got:\n%s", b.String())
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := New("t", nil).ExitCode(); got != ExitClean {
+		t.Errorf("empty report exit = %d, want %d", got, ExitClean)
+	}
+	if got := New("t", []Finding{{File: "f.go"}}).ExitCode(); got != ExitFindings {
+		t.Errorf("non-empty report exit = %d, want %d", got, ExitFindings)
+	}
+}
+
+func TestFindingText(t *testing.T) {
+	cases := []struct {
+		f    Finding
+		want string
+	}{
+		{Finding{File: "a.go", Line: 3, Col: 7, Analyzer: "secretflow", Message: "leak"}, "a.go:3:7: [secretflow] leak"},
+		{Finding{File: "m.txt", Line: 3, Analyzer: "exposition", Message: "dup"}, "m.txt:3: [exposition] dup"},
+		{Finding{File: "x", Line: 1, Message: "m"}, "x:1: m"},
+	}
+	for _, c := range cases {
+		if got := c.f.Text(); got != c.want {
+			t.Errorf("Text() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWriteGitHubEscapes(t *testing.T) {
+	rep := New("tsiglint", []Finding{{
+		File: "dir,x:y.go", Line: 9, Col: 2,
+		Analyzer: "lockhold",
+		Message:  "50% held\nacross a wait",
+	}})
+	var b strings.Builder
+	if err := rep.WriteGitHub(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "::error file=dir%2Cx%3Ay.go,line=9,col=2::[lockhold] 50%25 held%0Aacross a wait\n"
+	if got != want {
+		t.Errorf("WriteGitHub:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestWriteUnknownFormat(t *testing.T) {
+	var b strings.Builder
+	if err := New("t", nil).Write(&b, "xml"); err == nil {
+		t.Fatal("unknown format did not error")
+	}
+}

@@ -253,7 +253,7 @@ func (r *Registry) persistLocked() error {
 		return fmt.Errorf("registry: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //tsiglint:ignore errlost best-effort temp cleanup; the rename failure is the error that matters and is returned
 		return fmt.Errorf("registry: %w", err)
 	}
 	r.manifestRewrites.Add(1)

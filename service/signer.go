@@ -630,9 +630,17 @@ func decodeJSON(r *http.Request, v any) error {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: an unencodable value
+	// (a bug, not a peer problem) becomes a 500 instead of a silently
+	// truncated body under an already-committed success status.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(append(raw, '\n'))
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
