@@ -594,9 +594,19 @@ type benchDoc struct {
 // writeBenchJSON measures the core benchmark families — the same
 // operations bench_test.go's BenchmarkShareSign/ShareVerify/Combine/
 // Verify/DKG/ProactiveRefresh and the substrate microbenchmarks time —
-// and writes them as one JSON document.
+// and writes them as one JSON document. The historical result names stay
+// pinned to (n=5, t=2) so successive documents diff cleanly; scaling
+// sweeps over (n, t) and batch sizes carry their shape in the name.
+// -quick shrinks every family to one iteration and drops the larger
+// sweeps, for CI smoke runs.
 func writeBenchJSON(path string) error {
 	const n, t = 5, 2
+	iters := func(full int) int {
+		if *quickFlag {
+			return 1
+		}
+		return full
+	}
 	msg := []byte("bench probe")
 	params := core.NewParams("bench/json")
 	views, _, err := core.DistKeygen(params, n, t)
@@ -621,9 +631,10 @@ func writeBenchJSON(path string) error {
 		GoVersion: runtime.Version(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
 		N: n, T: t,
 	}
-	measure := func(name string, iters int, fn func()) {
+	measure := func(name string, it int, fn func()) {
+		it = iters(it)
 		doc.Results = append(doc.Results, benchResult{
-			Name: name, NsPerOp: float64(timeIt(iters, fn).Nanoseconds()), Iters: iters,
+			Name: name, NsPerOp: float64(timeIt(it, fn).Nanoseconds()), Iters: it,
 		})
 	}
 	measure("ShareSign", 10, func() { _, _ = core.ShareSign(params, views[1].Share, msg) })
@@ -655,6 +666,75 @@ func writeBenchJSON(path string) error {
 	measure("HashToG1", 20, func() { bn254.HashToG1("bench/json", []byte("m")) })
 	measure("G1ScalarMult", 20, func() { new(bn254.G1).ScalarMult(p, k) })
 	measure("G2ScalarMult", 10, func() { new(bn254.G2).ScalarMult(q, k) })
+
+	// Scaling sweep: the hot-path families at growing committee shapes.
+	// (5,2) is already covered by the unsuffixed names above.
+	sweeps := [][2]int{{9, 4}, {16, 5}}
+	if *quickFlag {
+		sweeps = nil
+	}
+	for _, nt := range sweeps {
+		sn, st := nt[0], nt[1]
+		sviews, _, err := core.DistKeygen(params, sn, st)
+		if err != nil {
+			return err
+		}
+		var sparts []*core.PartialSignature
+		for i := 1; i <= st+1; i++ {
+			ps, err := core.ShareSign(params, sviews[i].Share, msg)
+			if err != nil {
+				return err
+			}
+			sparts = append(sparts, ps)
+		}
+		ssig, err := core.Combine(sviews[1].PK, sviews[1].VKs, msg, sparts, st)
+		if err != nil {
+			return err
+		}
+		suffix := fmt.Sprintf("/n=%d,t=%d", sn, st)
+		measure("ShareSign"+suffix, 5, func() { _, _ = core.ShareSign(params, sviews[1].Share, msg) })
+		measure("ShareVerify"+suffix, 5, func() { core.ShareVerify(sviews[1].PK, sviews[1].VKs[1], msg, sparts[0]) })
+		measure("Combine"+suffix, 5, func() { _, _ = core.Combine(sviews[1].PK, sviews[1].VKs, msg, sparts, st) })
+		measure("Verify"+suffix, 5, func() { core.Verify(sviews[1].PK, msg, ssig) })
+	}
+
+	// Batch sweep: k full signatures through BatchVerify and k partials
+	// from one signer through BatchShareVerify (the coordinator hot path).
+	ks := []int{1, 8, 32}
+	if *quickFlag {
+		ks = []int{1, 8}
+	}
+	for _, bk := range ks {
+		entries := make([]core.BatchEntry, bk)
+		shareEntries := make([]core.ShareBatchEntry, bk)
+		for j := 0; j < bk; j++ {
+			bmsg := []byte(fmt.Sprintf("batch probe %d", j))
+			var bparts []*core.PartialSignature
+			for _, i := range []int{1, 3, 5} {
+				ps, err := core.ShareSign(params, views[i].Share, bmsg)
+				if err != nil {
+					return err
+				}
+				bparts = append(bparts, ps)
+			}
+			bsig, err := core.Combine(views[1].PK, views[1].VKs, bmsg, bparts, t)
+			if err != nil {
+				return err
+			}
+			entries[j] = core.BatchEntry{Msg: bmsg, Sig: bsig}
+			shareEntries[j] = core.ShareBatchEntry{Msg: bmsg, VK: views[1].VKs[1], PS: bparts[0]}
+		}
+		measure(fmt.Sprintf("BatchVerify/k=%d", bk), 5, func() {
+			if ok, err := core.BatchVerify(views[1].PK, entries, nil); err != nil || !ok {
+				log.Fatalf("BatchVerify(k=%d) = %v, %v", bk, ok, err)
+			}
+		})
+		measure(fmt.Sprintf("BatchShareVerify/k=%d", bk), 5, func() {
+			if ok, err := core.BatchShareVerify(views[1].PK, shareEntries, nil); err != nil || !ok {
+				log.Fatalf("BatchShareVerify(k=%d) = %v, %v", bk, ok, err)
+			}
+		})
+	}
 
 	return writeBenchDoc(path, doc)
 }

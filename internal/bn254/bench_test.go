@@ -2,6 +2,7 @@ package bn254
 
 import (
 	"crypto/rand"
+	"fmt"
 	"math/big"
 	"testing"
 )
@@ -171,4 +172,87 @@ func BenchmarkAblationFixedBase(b *testing.B) {
 			}
 		}
 	})
+}
+
+func BenchmarkAblationMillerLoop(b *testing.B) {
+	p := G1Generator()
+	q := G2Generator()
+	pre := PrecomputeG2(q)
+	b.Run("fresh-g2-arithmetic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var f fp12
+			f.SetOne()
+			miller(p, q, &f)
+		}
+	})
+	b.Run("fixed-precomputed-lines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var f fp12
+			f.SetOne()
+			MillerLoopFixed(p, pre, &f)
+		}
+	})
+}
+
+func BenchmarkAblationMultiPair(b *testing.B) {
+	// The scheme's Verify relation is a 4-slot product; 8 slots models a
+	// small share batch. Serial runs the same mixed slots on one
+	// goroutine, isolating what the parallel merge buys.
+	for _, k := range []int{4, 8} {
+		ps := make([]*G1, k)
+		qs := make([]*G2, k)
+		slots := make([]*PairingSlot, k)
+		for i := range ps {
+			ps[i] = new(G1).ScalarMult(G1Generator(), big.NewInt(int64(i+2)))
+			qs[i] = new(G2).ScalarMult(G2Generator(), big.NewInt(int64(2*i+3)))
+			slots[i] = &PairingSlot{P: ps[i], Pre: PrecomputeG2(qs[i])}
+		}
+		b.Run(fmt.Sprintf("k=%d/parallel-fixed", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MultiPairMixed(slots); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/serial-fresh", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var f fp12
+				f.SetOne()
+				for j := range ps {
+					miller(ps[j], qs[j], &f)
+				}
+				finalExponentiation(&f)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationMSM(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		points := make([]*G1, n)
+		scalars := make([]*big.Int, n)
+		for i := range points {
+			points[i] = new(G1).ScalarMult(G1Generator(), big.NewInt(int64(i+2)))
+			scalars[i] = benchScalar(b)
+		}
+		maxBits := Order.BitLen()
+		b.Run(fmt.Sprintf("n=%d/pippenger", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				msmPippenger(points, scalars, maxBits)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/strauss", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				msmStrauss(points, scalars, maxBits)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/naive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acc := new(G1)
+				for j := range points {
+					acc.Add(acc, new(G1).ScalarMult(points[j], scalars[j]))
+				}
+			}
+		})
+	}
 }

@@ -269,32 +269,10 @@ func (e *G1) String() string {
 	return fmt.Sprintf("G1(%s, %s)", &e.x, &e.y)
 }
 
-// MultiScalarMultG1 computes sum_i scalars[i]*points[i] using interleaved
-// (Strauss) double-and-add, sharing the doubling chain across all terms.
-// This is the "multi-exponentiation with two base elements" primitive the
-// paper counts in its cost analysis.
+// MultiScalarMultG1 computes sum_i scalars[i]*points[i]. This is the
+// "multi-exponentiation with two base elements" primitive the paper counts
+// in its cost analysis; the implementation (msm.go) picks windowed Strauss
+// or Pippenger buckets by batch size.
 func MultiScalarMultG1(points []*G1, scalars []*big.Int) (*G1, error) {
-	if len(points) != len(scalars) {
-		return nil, errors.New("bn254: mismatched multiscalar lengths")
-	}
-	reduced := make([]*big.Int, len(scalars))
-	maxBits := 0
-	for i, s := range scalars {
-		r := new(big.Int).Mod(s, Order)
-		reduced[i] = r
-		if r.BitLen() > maxBits {
-			maxBits = r.BitLen()
-		}
-	}
-	var acc jacG1
-	acc.z.SetZero()
-	for i := maxBits - 1; i >= 0; i-- {
-		acc.double(&acc)
-		for j, r := range reduced {
-			if r.Bit(i) == 1 && !points[j].IsInfinity() {
-				acc.addMixed(&acc, points[j])
-			}
-		}
-	}
-	return acc.toAffine(new(G1)), nil
+	return G1MSM(points, scalars)
 }

@@ -1,0 +1,150 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Differential coverage for G1MSM: both algorithm branches (windowed
+// Strauss below pippengerThreshold, Pippenger buckets above) must match
+// the naive per-term ScalarMult+Add oracle, including the degenerate
+// inputs the batch paths special-case away.
+
+// naiveMSM is the reference: sum_i scalars[i]*points[i] term by term.
+func naiveMSM(points []*G1, scalars []*big.Int) *G1 {
+	acc := new(G1)
+	var term G1
+	for i := range points {
+		term.ScalarMult(points[i], scalars[i])
+		acc.Add(acc, &term)
+	}
+	return acc
+}
+
+func TestG1MSMMatchesNaiveSmall(t *testing.T) {
+	// Deterministic spread of sizes below the Pippenger threshold.
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 31} {
+		points := make([]*G1, n)
+		scalars := make([]*big.Int, n)
+		for i := 0; i < n; i++ {
+			points[i] = new(G1).ScalarBaseMult(scalarFromRaw(int64(i*i + 1)))
+			scalars[i] = scalarFromRaw(int64(1000003*i + 7))
+		}
+		got, err := G1MSM(points, scalars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveMSM(points, scalars); !got.Equal(want) {
+			t.Fatalf("n=%d: Strauss MSM diverges from naive", n)
+		}
+	}
+}
+
+func TestG1MSMMatchesNaivePippenger(t *testing.T) {
+	n := pippengerThreshold + 5
+	points := make([]*G1, n)
+	scalars := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		points[i] = new(G1).ScalarBaseMult(scalarFromRaw(int64(7*i + 3)))
+		scalars[i] = scalarFromRaw(int64(1_000_000_007) * int64(i+1))
+	}
+	got, err := G1MSM(points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naiveMSM(points, scalars); !got.Equal(want) {
+		t.Fatal("Pippenger MSM diverges from naive")
+	}
+}
+
+func TestG1MSMDegenerateInputs(t *testing.T) {
+	g := G1Generator()
+	inf := new(G1)
+	k := randScalarT(t)
+
+	// Zero scalars, points at infinity, repeated points, negative scalars
+	// and scalars >= Order — all in one batch, against the naive oracle.
+	points := []*G1{g, inf, g, g, new(G1).ScalarBaseMult(big.NewInt(42)), g}
+	scalars := []*big.Int{
+		big.NewInt(0),
+		k,
+		new(big.Int).Neg(big.NewInt(17)),
+		new(big.Int).Add(Order, big.NewInt(5)), // reduces to 5
+		big.NewInt(1),
+		k,
+	}
+	got, err := G1MSM(points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naiveMSM(points, scalars); !got.Equal(want) {
+		t.Fatal("degenerate batch diverges from naive")
+	}
+
+	// All-zero and empty batches are the identity.
+	if out, err := G1MSM(nil, nil); err != nil || !out.IsInfinity() {
+		t.Fatal("empty MSM must be infinity")
+	}
+	if out, err := G1MSM([]*G1{g, g}, []*big.Int{big.NewInt(0), new(big.Int).Set(Order)}); err != nil || !out.IsInfinity() {
+		t.Fatal("all-zero MSM must be infinity")
+	}
+}
+
+func TestG1MSMErrors(t *testing.T) {
+	g := G1Generator()
+	if _, err := G1MSM([]*G1{g}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := G1MSM([]*G1{nil}, []*big.Int{big.NewInt(1)}); err == nil {
+		t.Fatal("nil point accepted")
+	}
+	if _, err := G1MSM([]*G1{g}, []*big.Int{nil}); err == nil {
+		t.Fatal("nil scalar accepted")
+	}
+}
+
+func TestQuickG1MSMEquivalence(t *testing.T) {
+	prop := func(aRaw, bRaw, cRaw int64) bool {
+		points := []*G1{
+			new(G1).ScalarBaseMult(scalarFromRaw(aRaw)),
+			new(G1).ScalarBaseMult(scalarFromRaw(bRaw)),
+			G1Generator(),
+		}
+		scalars := []*big.Int{big.NewInt(bRaw), big.NewInt(cRaw), big.NewInt(aRaw)}
+		got, err := G1MSM(points, scalars)
+		if err != nil {
+			return false
+		}
+		return got.Equal(naiveMSM(points, scalars))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJacAddMatchesAffine(t *testing.T) {
+	// General Jacobian addition against the affine reference, including
+	// the doubling and inverse special cases.
+	a := new(G1).ScalarBaseMult(big.NewInt(3))
+	b := new(G1).ScalarBaseMult(big.NewInt(8))
+	neg := new(G1).Neg(a)
+	var ja, jb, jneg, out jacG1
+	// Give the operands non-trivial Z by doubling from affine.
+	ja.fromAffine(a)
+	jb.fromAffine(b)
+	jb.double(&jb) // jb = 2b with Z != 1
+	jneg.fromAffine(neg)
+
+	want := new(G1).Add(a, new(G1).Double(b))
+	got := out.add(&ja, &jb).toAffine(new(G1))
+	if !got.Equal(want) {
+		t.Fatal("jac add diverges from affine add")
+	}
+	if !out.add(&ja, &ja).toAffine(new(G1)).Equal(new(G1).Double(a)) {
+		t.Fatal("jac add doubling case diverges")
+	}
+	if !out.add(&ja, &jneg).toAffine(new(G1)).IsInfinity() {
+		t.Fatal("a + (-a) must be infinity")
+	}
+}

@@ -108,82 +108,35 @@ func mulByLine(f *fp12, l *lineEval) {
 }
 
 // lineDouble computes the tangent line at t evaluated at p and doubles t
-// in place.
+// in place. The coefficient computation lives in lineCoeffDouble
+// (precompute.go) so the fresh and fixed-argument Miller loops share one
+// line-math implementation.
 func lineDouble(t *G2, p *G1, out *lineEval) {
-	if t.y.IsZero() {
-		// Tangent at a 2-torsion point is vertical; cannot occur for
-		// order-r inputs but handled for robustness.
-		out.vertical = true
-		out.v0.Set(&p.x)
-		out.v2.Neg(&t.x)
-		t.SetInfinity()
-		return
-	}
-	// lambda = 3x^2 / 2y on the twist.
-	var num, den, lambda fp2
-	num.Square(&t.x)
-	var three fp
-	three.SetInt64(3)
-	num.MulFp(&num, &three)
-	den.Double(&t.y)
-	den.Inverse(&den)
-	lambda.Mul(&num, &den)
-
-	out.vertical = false
-	out.a0.Set(&p.y)
-	out.a1.MulFp(&lambda, &p.x)
-	out.a1.Neg(&out.a1)
-	out.a3.Mul(&lambda, &t.x)
-	out.a3.Sub(&out.a3, &t.y)
-
-	var x3, y3 fp2
-	x3.Square(&lambda)
-	x3.Sub(&x3, &t.x)
-	x3.Sub(&x3, &t.x)
-	y3.Sub(&t.x, &x3)
-	y3.Mul(&y3, &lambda)
-	y3.Sub(&y3, &t.y)
-	t.x.Set(&x3)
-	t.y.Set(&y3)
+	var pl prepLine
+	lineCoeffDouble(t, &pl)
+	pl.evalInto(p, out)
 }
 
 // lineAdd computes the line through t and q evaluated at p and sets
-// t = t + q.
+// t = t + q (coefficients via lineCoeffAdd, see lineDouble).
 func lineAdd(t, q *G2, p *G1, out *lineEval) {
-	if t.x.Equal(&q.x) {
-		if t.y.Equal(&q.y) {
-			lineDouble(t, p, out)
-			return
-		}
-		// Vertical line x = t.x; value xP - x*w^2.
-		out.vertical = true
-		out.v0.Set(&p.x)
-		out.v2.Neg(&t.x)
-		t.SetInfinity()
-		return
-	}
-	var num, den, lambda fp2
-	num.Sub(&q.y, &t.y)
-	den.Sub(&q.x, &t.x)
-	den.Inverse(&den)
-	lambda.Mul(&num, &den)
+	var pl prepLine
+	lineCoeffAdd(t, q, &pl)
+	pl.evalInto(p, out)
+}
 
-	out.vertical = false
-	out.a0.Set(&p.y)
-	out.a1.MulFp(&lambda, &p.x)
-	out.a1.Neg(&out.a1)
-	out.a3.Mul(&lambda, &t.x)
-	out.a3.Sub(&out.a3, &t.y)
+// sixUPlus2NAF is the signed-digit schedule of the Miller loop: the NAF
+// of 6u+2 has 22 nonzero digits against 37 set bits in binary, and a
+// negative digit costs the same as a positive one (the line through
+// (T, -Q) instead of (T, Q)). The dropped vertical-line factors lie in
+// Fp6 and are killed by the final exponentiation, so pairing values are
+// unchanged. The fixed-argument tables (PrecomputeG2) record lines in
+// exactly this schedule. Computed in init (not a var initializer) because
+// sixUPlus2 itself is assigned in constants.go's init.
+var sixUPlus2NAF []int8
 
-	var x3, y3 fp2
-	x3.Square(&lambda)
-	x3.Sub(&x3, &t.x)
-	x3.Sub(&x3, &q.x)
-	y3.Sub(&t.x, &x3)
-	y3.Mul(&y3, &lambda)
-	y3.Sub(&y3, &t.y)
-	t.x.Set(&x3)
-	t.y.Set(&y3)
+func init() {
+	sixUPlus2NAF = nafDigits(sixUPlus2)
 }
 
 // miller computes the Miller function value f for one (P, Q) pair,
@@ -192,17 +145,22 @@ func miller(p *G1, q *G2, f *fp12) {
 	if p.IsInfinity() || q.IsInfinity() {
 		return
 	}
-	var t G2
+	var t, negQ G2
 	t.Set(q)
+	negQ.Neg(q)
 	var l lineEval
 	var acc fp12
 	acc.SetOne()
-	for i := sixUPlus2.BitLen() - 2; i >= 0; i-- {
+	for i := len(sixUPlus2NAF) - 2; i >= 0; i-- {
 		acc.Square(&acc)
 		lineDouble(&t, p, &l)
 		mulByLine(&acc, &l)
-		if sixUPlus2.Bit(i) == 1 {
+		switch sixUPlus2NAF[i] {
+		case 1:
 			lineAdd(&t, q, p, &l)
+			mulByLine(&acc, &l)
+		case -1:
+			lineAdd(&t, &negQ, p, &l)
 			mulByLine(&acc, &l)
 		}
 	}
@@ -330,19 +288,17 @@ func pairNaive(p *G1, q *G2) *GT {
 // MultiPair computes the product of pairings prod_i e(ps[i], qs[i]) with a
 // single shared final exponentiation. This is how a verifier evaluates the
 // "product of four pairings" of the paper's verification equation at the
-// cost of four Miller loops and one exponentiation.
+// cost of four Miller loops and one exponentiation. The Miller loops run
+// in parallel across GOMAXPROCS (see millerProduct).
 func MultiPair(ps []*G1, qs []*G2) (*GT, error) {
 	if len(ps) != len(qs) {
 		return nil, errors.New("bn254: mismatched pairing input lengths")
 	}
-	var f fp12
-	f.SetOne()
+	slots := make([]*PairingSlot, len(ps))
 	for i := range ps {
-		miller(ps[i], qs[i], &f)
+		slots[i] = &PairingSlot{P: ps[i], Q: qs[i]}
 	}
-	out := &GT{}
-	out.v.Set(finalExponentiation(&f))
-	return out, nil
+	return MultiPairMixed(slots)
 }
 
 // PairingCheck reports whether prod_i e(ps[i], qs[i]) == 1. It skips the

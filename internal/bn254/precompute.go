@@ -1,0 +1,380 @@
+package bn254
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Fixed-argument pairing precomputation. The G2 argument of every pairing
+// in the scheme's verification equations (the LHSPS generators and the
+// verification keys) is fixed between refresh epochs, so the Miller loop's
+// G2 point arithmetic — including one Fp2 inversion per step for the
+// affine slopes — can be done once per epoch. PrecomputeG2 stores the
+// ordered line coefficients; MillerLoopFixed replays the loop with nothing
+// but sparse line evaluations at P and Fp12 accumulation.
+//
+// A line is stored in coefficient-only form: the twist slope lambda and
+// the constant c = lambda*x_T - y_T. Evaluated at P = (xP, yP) it becomes
+// the sparse value yP - lambda*xP * w + c * w^3 (see pairing.go). Vertical
+// lines x = x_T store c = -x_T and evaluate to xP + c * w^2.
+
+// prepLine is one Miller-loop line in coefficient form (independent of P).
+type prepLine struct {
+	vertical bool
+	lambda   fp2 // twist slope (non-vertical lines)
+	c        fp2 // lambda*x_T - y_T, or -x_T for vertical lines
+}
+
+// evalInto evaluates the line at p, producing the sparse Fp12 form that
+// mulByLine consumes.
+func (pl *prepLine) evalInto(p *G1, out *lineEval) {
+	if pl.vertical {
+		out.vertical = true
+		out.v0.Set(&p.x)
+		out.v2.Set(&pl.c)
+		return
+	}
+	out.vertical = false
+	out.a0.Set(&p.y)
+	out.a1.MulFp(&pl.lambda, &p.x)
+	out.a1.Neg(&out.a1)
+	out.a3.Set(&pl.c)
+}
+
+// lineCoeffDouble computes the tangent-line coefficients at t and doubles
+// t in place. lineDouble is this plus an evaluation at P.
+func lineCoeffDouble(t *G2, out *prepLine) {
+	if t.y.IsZero() {
+		// Tangent at a 2-torsion point is vertical; cannot occur for
+		// order-r inputs but handled for robustness.
+		out.vertical = true
+		out.c.Neg(&t.x)
+		t.SetInfinity()
+		return
+	}
+	// lambda = 3x^2 / 2y on the twist.
+	var num, den fp2
+	num.Square(&t.x)
+	var three fp
+	three.SetInt64(3)
+	num.MulFp(&num, &three)
+	den.Double(&t.y)
+	den.Inverse(&den)
+
+	out.vertical = false
+	out.lambda.Mul(&num, &den)
+	out.c.Mul(&out.lambda, &t.x)
+	out.c.Sub(&out.c, &t.y)
+
+	var x3, y3 fp2
+	x3.Square(&out.lambda)
+	x3.Sub(&x3, &t.x)
+	x3.Sub(&x3, &t.x)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &out.lambda)
+	y3.Sub(&y3, &t.y)
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+}
+
+// lineCoeffAdd computes the coefficients of the line through t and q and
+// sets t = t + q. lineAdd is this plus an evaluation at P.
+func lineCoeffAdd(t, q *G2, out *prepLine) {
+	if t.x.Equal(&q.x) {
+		if t.y.Equal(&q.y) {
+			lineCoeffDouble(t, out)
+			return
+		}
+		// Vertical line x = t.x.
+		out.vertical = true
+		out.c.Neg(&t.x)
+		t.SetInfinity()
+		return
+	}
+	var num, den fp2
+	num.Sub(&q.y, &t.y)
+	den.Sub(&q.x, &t.x)
+	den.Inverse(&den)
+
+	out.vertical = false
+	out.lambda.Mul(&num, &den)
+	out.c.Mul(&out.lambda, &t.x)
+	out.c.Sub(&out.c, &t.y)
+
+	var x3, y3 fp2
+	x3.Square(&out.lambda)
+	x3.Sub(&x3, &t.x)
+	x3.Sub(&x3, &q.x)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &out.lambda)
+	y3.Sub(&y3, &t.y)
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+}
+
+// G2Prepared holds the ordered Miller-loop line coefficients of a fixed
+// G2 point. It is immutable after PrecomputeG2 returns and safe for
+// concurrent use by any number of Miller loops.
+type G2Prepared struct {
+	infinity bool
+	lines    []prepLine
+}
+
+// PrecomputeG2 runs the G2 side of the Miller loop once, recording every
+// line the loop will consume in order: one doubling line per iteration,
+// one addition line per nonzero NAF digit of 6u+2, and the two Frobenius
+// lines of the optimal ate pairing.
+func PrecomputeG2(q *G2) *G2Prepared {
+	pre := &G2Prepared{}
+	if q == nil || q.IsInfinity() {
+		pre.infinity = true
+		return pre
+	}
+	var t, negQ G2
+	t.Set(q)
+	negQ.Neg(q)
+	n := len(sixUPlus2NAF)
+	pre.lines = make([]prepLine, 0, 2*n+2)
+	for i := n - 2; i >= 0; i-- {
+		var dl prepLine
+		lineCoeffDouble(&t, &dl)
+		pre.lines = append(pre.lines, dl)
+		if d := sixUPlus2NAF[i]; d != 0 {
+			var al prepLine
+			if d == 1 {
+				lineCoeffAdd(&t, q, &al)
+			} else {
+				lineCoeffAdd(&t, &negQ, &al)
+			}
+			pre.lines = append(pre.lines, al)
+		}
+	}
+	var q1, q2 G2
+	q1.frobenius(q)
+	q2.frobenius(&q1)
+	q2.Neg(&q2)
+
+	var f1, f2 prepLine
+	lineCoeffAdd(&t, &q1, &f1)
+	pre.lines = append(pre.lines, f1)
+	lineCoeffAdd(&t, &q2, &f2)
+	pre.lines = append(pre.lines, f2)
+	return pre
+}
+
+// MillerLoopFixed computes the Miller function value for (P, Q) from Q's
+// precomputed lines, accumulating into f (callers initialize f to one).
+// It follows the exact squaring/multiplication schedule of miller, with
+// every G2 operation replaced by a table lookup; the two are cross-checked
+// in TestMillerLoopFixedMatchesMiller.
+func MillerLoopFixed(p *G1, pre *G2Prepared, f *fp12) {
+	if p.IsInfinity() || pre.infinity {
+		return
+	}
+	var l lineEval
+	var acc fp12
+	acc.SetOne()
+	idx := 0
+	for i := len(sixUPlus2NAF) - 2; i >= 0; i-- {
+		acc.Square(&acc)
+		pre.lines[idx].evalInto(p, &l)
+		idx++
+		mulByLine(&acc, &l)
+		if sixUPlus2NAF[i] != 0 {
+			pre.lines[idx].evalInto(p, &l)
+			idx++
+			mulByLine(&acc, &l)
+		}
+	}
+	pre.lines[idx].evalInto(p, &l)
+	idx++
+	mulByLine(&acc, &l)
+	pre.lines[idx].evalInto(p, &l)
+	mulByLine(&acc, &l)
+	f.Mul(f, &acc)
+}
+
+// PairFixed computes e(p, q) from q's precomputed lines.
+func PairFixed(p *G1, pre *G2Prepared) *GT {
+	var f fp12
+	f.SetOne()
+	MillerLoopFixed(p, pre, &f)
+	out := &GT{}
+	out.v.Set(finalExponentiation(&f))
+	return out
+}
+
+// PairingSlot is one (G1, G2) input of a mixed multi-pairing: the G2
+// argument is either a fresh point Q or a precomputed Pre. When both are
+// set, the precomputation wins.
+type PairingSlot struct {
+	P   *G1
+	Q   *G2
+	Pre *G2Prepared
+}
+
+// millerCursor is one slot's in-loop state inside simulMiller: a line
+// cursor into the precomputed table for fixed slots, or the running twist
+// point for fresh ones.
+type millerCursor struct {
+	p    *G1
+	pre  *G2Prepared // fixed slots: line table
+	idx  int         // fixed slots: next line
+	q    *G2         // fresh slots: original Q
+	t    G2          // fresh slots: running point
+	negQ G2          // fresh slots: -Q for the negative NAF digits
+}
+
+// simulMiller multiplies the product of the slots' Miller values into f
+// with ONE shared accumulator: every doubling step squares f once for the
+// whole slot set instead of once per slot. Squarings are the second
+// largest cost of the loop (after the line multiplications themselves),
+// so a k-slot product saves (k-1) full squaring chains over k independent
+// loops — the dominant single-core win of the multi-pairing. Fixed and
+// fresh slots interleave freely: both consume the identical line schedule
+// (doubling line per bit, addition line per set bit, two Frobenius
+// lines), one from its table, the other from live G2 arithmetic.
+func simulMiller(slots []*PairingSlot, f *fp12) {
+	cs := make([]millerCursor, 0, len(slots))
+	for _, s := range slots {
+		if s.P.IsInfinity() {
+			continue
+		}
+		if s.Pre != nil {
+			if s.Pre.infinity {
+				continue
+			}
+			cs = append(cs, millerCursor{p: s.P, pre: s.Pre})
+			continue
+		}
+		if s.Q.IsInfinity() {
+			continue
+		}
+		c := millerCursor{p: s.P, q: s.Q}
+		c.t.Set(s.Q)
+		c.negQ.Neg(s.Q)
+		cs = append(cs, c)
+	}
+	if len(cs) == 0 {
+		return
+	}
+	var l lineEval
+	var acc fp12
+	acc.SetOne()
+	for i := len(sixUPlus2NAF) - 2; i >= 0; i-- {
+		acc.Square(&acc)
+		d := sixUPlus2NAF[i]
+		for j := range cs {
+			c := &cs[j]
+			if c.pre != nil {
+				c.pre.lines[c.idx].evalInto(c.p, &l)
+				c.idx++
+				mulByLine(&acc, &l)
+				if d != 0 {
+					c.pre.lines[c.idx].evalInto(c.p, &l)
+					c.idx++
+					mulByLine(&acc, &l)
+				}
+				continue
+			}
+			lineDouble(&c.t, c.p, &l)
+			mulByLine(&acc, &l)
+			switch d {
+			case 1:
+				lineAdd(&c.t, c.q, c.p, &l)
+				mulByLine(&acc, &l)
+			case -1:
+				lineAdd(&c.t, &c.negQ, c.p, &l)
+				mulByLine(&acc, &l)
+			}
+		}
+	}
+	// The two Frobenius line steps of the optimal ate pairing, per slot.
+	for j := range cs {
+		c := &cs[j]
+		if c.pre != nil {
+			c.pre.lines[c.idx].evalInto(c.p, &l)
+			c.idx++
+			mulByLine(&acc, &l)
+			c.pre.lines[c.idx].evalInto(c.p, &l)
+			mulByLine(&acc, &l)
+			continue
+		}
+		var q1, q2 G2
+		q1.frobenius(c.q)
+		q2.frobenius(&q1)
+		q2.Neg(&q2)
+		lineAdd(&c.t, &q1, c.p, &l)
+		mulByLine(&acc, &l)
+		lineAdd(&c.t, &q2, c.p, &l)
+		mulByLine(&acc, &l)
+	}
+	f.Mul(f, &acc)
+}
+
+// millerProduct computes the product of the slots' Miller values into f,
+// sharding the slots across GOMAXPROCS goroutines. Each worker runs one
+// shared-squaring product loop (simulMiller) over a strided subset and
+// the partial products merge into f before the (single, shared) final
+// exponentiation the callers run; on a single-core host the whole set
+// shares one squaring chain.
+func millerProduct(slots []*PairingSlot, f *fp12) error {
+	for _, s := range slots {
+		if s == nil || s.P == nil || (s.Q == nil && s.Pre == nil) {
+			return errors.New("bn254: incomplete pairing slot")
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(slots) {
+		workers = len(slots)
+	}
+	if workers <= 1 {
+		simulMiller(slots, f)
+		return nil
+	}
+	partial := make([]fp12, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			partial[w].SetOne()
+			// Strided assignment keeps the shards balanced when fixed
+			// (cheap) and fresh (expensive) slots are interleaved.
+			shard := make([]*PairingSlot, 0, (len(slots)+workers-1)/workers)
+			for i := w; i < len(slots); i += workers {
+				shard = append(shard, slots[i])
+			}
+			simulMiller(shard, &partial[w])
+		}(w)
+	}
+	wg.Wait()
+	for w := range partial {
+		f.Mul(f, &partial[w])
+	}
+	return nil
+}
+
+// MultiPairMixed computes prod_i e(slots[i].P, slots[i].Q-or-Pre) with
+// parallel Miller loops and a single shared final exponentiation.
+func MultiPairMixed(slots []*PairingSlot) (*GT, error) {
+	var f fp12
+	f.SetOne()
+	if err := millerProduct(slots, &f); err != nil {
+		return nil, err
+	}
+	out := &GT{}
+	out.v.Set(finalExponentiation(&f))
+	return out, nil
+}
+
+// PairingCheckMixed reports whether prod_i e(slots[i]) == 1, accepting any
+// mix of fixed-precomputed and fresh G2 arguments.
+func PairingCheckMixed(slots []*PairingSlot) bool {
+	acc, err := MultiPairMixed(slots)
+	if err != nil {
+		return false
+	}
+	return acc.IsOne()
+}

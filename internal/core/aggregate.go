@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bn254"
 	"repro/internal/dkg"
@@ -37,13 +38,43 @@ type AggParams struct {
 	G, H *bn254.G1
 }
 
-// NewAggParams derives aggregation parameters from a domain label.
+// aggParamsCache memoizes NewAggParams per domain, mirroring the
+// paramsCache of NewParams (core.go): the two extra hash-to-G1 runs and
+// the shared precompute both ride on object identity.
+var aggParamsCache = struct {
+	sync.Mutex
+	m map[string]*AggParams
+}{m: make(map[string]*AggParams)}
+
+// NewAggParams derives aggregation parameters from a domain label,
+// memoized per domain.
 func NewAggParams(domain string) *AggParams {
-	return &AggParams{
+	aggParamsCache.Lock()
+	if p, ok := aggParamsCache.m[domain]; ok {
+		aggParamsCache.Unlock()
+		return p
+	}
+	aggParamsCache.Unlock()
+
+	p := &AggParams{
 		Params: NewParams(domain),
 		G:      bn254.HashToG1(domain+"/agg-g", nil),
 		H:      bn254.HashToG1(domain+"/agg-h", nil),
 	}
+
+	aggParamsCache.Lock()
+	defer aggParamsCache.Unlock()
+	if prev, ok := aggParamsCache.m[domain]; ok {
+		return prev
+	}
+	if len(aggParamsCache.m) >= paramsCacheCap {
+		for k := range aggParamsCache.m {
+			delete(aggParamsCache.m, k)
+			break
+		}
+	}
+	aggParamsCache.m[domain] = p
+	return p
 }
 
 // AggPublicKey is PK = (g^_1, g^_2, Z, R).
@@ -51,6 +82,19 @@ type AggPublicKey struct {
 	Params *AggParams
 	G1, G2 *bn254.G2
 	Z, R   *bn254.G1
+
+	// Cached core-scheme view of (g^_1, g^_2): shares the pairing
+	// precompute across SanityCheck, AggCombine and AggVerifySingle.
+	innerOnce sync.Once
+	innerPK   *PublicKey
+}
+
+// inner returns the cached plain-scheme PublicKey view.
+func (pk *AggPublicKey) inner() *PublicKey {
+	pk.innerOnce.Do(func() {
+		pk.innerPK = &PublicKey{Params: pk.Params.Params, G1: pk.G1, G2: pk.G2}
+	})
+	return pk.innerPK
 }
 
 // Marshal returns the canonical encoding used inside H(PK || M).
@@ -69,11 +113,13 @@ func (pk *AggPublicKey) Equal(o *AggPublicKey) bool {
 }
 
 // SanityCheck verifies the built-in key-validity proof:
-// e(Z, g^_z) e(R, g^_r) e(g, g^_1) e(h, g^_2) == 1.
+// e(Z, g^_z) e(R, g^_r) e(g, g^_1) e(h, g^_2) == 1. This is exactly the
+// LHSPS relation on the vector (g, h), so it runs on the cached pairing
+// precompute of the inner key.
 func (pk *AggPublicKey) SanityCheck() bool {
-	return bn254.PairingCheck(
-		[]*bn254.G1{pk.Z, pk.R, pk.Params.G, pk.Params.H},
-		[]*bn254.G2{pk.Params.LH.Gz, pk.Params.LH.Gr, pk.G1, pk.G2},
+	return pk.inner().lhspsKey().VerifyRelation(
+		[]*bn254.G1{pk.Params.G, pk.Params.H},
+		&lhsps.Signature{Z: pk.Z, R: pk.R},
 	)
 }
 
@@ -101,15 +147,20 @@ func aggDealProof(params *AggParams, hp *dkg.HonestPlayer) (*bn254.G1, *bn254.G1
 	return z, r
 }
 
-// verifyAggProof checks the public validity equation for one dealer.
+// verifyAggProof checks the public validity equation for one dealer. The
+// dealer's commitments are fresh per protocol run, so only the generator
+// slots use precomputed lines.
 func verifyAggProof(params *AggParams, comms [][][]*bn254.G2, z, r *bn254.G1) bool {
 	if len(comms) != Dim {
 		return false
 	}
-	return bn254.PairingCheck(
-		[]*bn254.G1{z, r, params.G, params.H},
-		[]*bn254.G2{params.LH.Gz, params.LH.Gr, comms[0][0][0], comms[1][0][0]},
-	)
+	gzPrep, grPrep := params.LH.PreparedGenerators()
+	return bn254.PairingCheckMixed([]*bn254.PairingSlot{
+		{P: z, Pre: gzPrep},
+		{P: r, Pre: grPrep},
+		{P: params.G, Q: comms[0][0][0]},
+		{P: params.H, Q: comms[1][0][0]},
+	})
 }
 
 // aggPlayer wraps the honest DKG machine with the Appendix G extension.
@@ -268,22 +319,19 @@ func AggShareVerify(pk *AggPublicKey, vk *VerificationKey, msg []byte, ps *Parti
 		return false
 	}
 	h := pk.Params.HashMessage(pk.hashInput(msg))
-	vkKey := &lhsps.PublicKey{Params: pk.Params.LH, Gk: []*bn254.G2{vk.V1, vk.V2}}
-	return vkKey.VerifyRelation(h, &lhsps.Signature{Z: ps.Z, R: ps.R})
+	return vk.lhspsKey(pk.Params.Params).VerifyRelation(h, &lhsps.Signature{Z: ps.Z, R: ps.R})
 }
 
 // AggCombine interpolates t+1 valid partial signatures.
 func AggCombine(pk *AggPublicKey, vks []*VerificationKey, msg []byte, parts []*PartialSignature, t int) (*Signature, error) {
-	inner := &PublicKey{Params: pk.Params.Params, G1: pk.G1, G2: pk.G2}
 	// Combine verifies against VKs with the PK||M hash input, so reuse the
 	// core Combine on the prefixed message.
-	return Combine(inner, vks, pk.hashInput(msg), parts, t)
+	return Combine(pk.inner(), vks, pk.hashInput(msg), parts, t)
 }
 
 // AggVerifySingle verifies one full signature under one aggregation key.
 func AggVerifySingle(pk *AggPublicKey, msg []byte, sig *Signature) bool {
-	inner := &PublicKey{Params: pk.Params.Params, G1: pk.G1, G2: pk.G2}
-	return Verify(inner, pk.hashInput(msg), sig)
+	return Verify(pk.inner(), pk.hashInput(msg), sig)
 }
 
 // AggEntry pairs a public key with a message (and, for Aggregate, the
@@ -325,15 +373,22 @@ func AggregateVerify(entries []AggEntry, sig *Signature) bool {
 		return false
 	}
 	params := entries[0].PK.Params
-	g1s := []*bn254.G1{sig.Z, sig.R}
-	g2s := []*bn254.G2{params.LH.Gz, params.LH.Gr}
+	gzPrep, grPrep := params.LH.PreparedGenerators()
+	slots := make([]*bn254.PairingSlot, 0, 2*len(entries)+2)
+	slots = append(slots,
+		&bn254.PairingSlot{P: sig.Z, Pre: gzPrep},
+		&bn254.PairingSlot{P: sig.R, Pre: grPrep},
+	)
 	for _, e := range entries {
 		if e.PK == nil || !e.PK.SanityCheck() {
 			return false
 		}
 		h := e.PK.Params.HashMessage(e.PK.hashInput(e.Msg))
-		g1s = append(g1s, h[0], h[1])
-		g2s = append(g2s, e.PK.G1, e.PK.G2)
+		pkPrep := e.PK.inner().lhspsKey().Prepared()
+		slots = append(slots,
+			&bn254.PairingSlot{P: h[0], Pre: pkPrep[0]},
+			&bn254.PairingSlot{P: h[1], Pre: pkPrep[1]},
+		)
 	}
-	return bn254.PairingCheck(g1s, g2s)
+	return bn254.PairingCheckMixed(slots)
 }

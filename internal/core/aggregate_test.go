@@ -67,8 +67,11 @@ func TestAggKeySanityCheck(t *testing.T) {
 		t.Fatal("independent authorities produced the same key")
 	}
 	// A key with a perturbed (Z, R) fails.
-	bad := *a[1].PK
-	bad.Z = new(bn254.G1).Add(bad.Z, bn254.G1Generator())
+	pk := a[1].PK
+	bad := &AggPublicKey{
+		Params: pk.Params, G1: pk.G1, G2: pk.G2,
+		Z: new(bn254.G1).Add(pk.Z, bn254.G1Generator()), R: pk.R,
+	}
 	if bad.SanityCheck() {
 		t.Fatal("perturbed key passed the sanity check")
 	}

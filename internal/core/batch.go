@@ -50,33 +50,36 @@ func BatchVerify(pk *PublicKey, entries []BatchEntry, rng io.Reader) (bool, erro
 		return false, err
 	}
 
-	zs := make([]*bn254.G1, 0, len(entries))
-	rs := make([]*bn254.G1, 0, len(entries))
-	// Pairing slots for the hash vectors.
-	g1s := make([]*bn254.G1, 0, 2*len(entries)+2)
-	g2s := make([]*bn254.G2, 0, 2*len(entries)+2)
-
+	// Every entry verifies against the same four fixed G2 arguments
+	// (g^_z, g^_r, g^_1, g^_2), so the k relations collapse into a single
+	// 4-slot multi-pairing on precomputed lines plus four
+	// multi-exponentiations: prod_j e(H_kj, g^_k)^{delta_j} =
+	// e(prod_j H_kj^{delta_j}, g^_k).
+	zs := make([]*bn254.G1, len(entries))
+	rs := make([]*bn254.G1, len(entries))
+	h1s := make([]*bn254.G1, len(entries))
+	h2s := make([]*bn254.G1, len(entries))
 	for i, e := range entries {
-		zs = append(zs, e.Sig.Z)
-		rs = append(rs, e.Sig.R)
+		zs[i] = e.Sig.Z
+		rs[i] = e.Sig.R
 		h := pk.Params.HashMessage(e.Msg)
-		var h1, h2 bn254.G1
-		h1.ScalarMult(h[0], weights[i])
-		h2.ScalarMult(h[1], weights[i])
-		g1s = append(g1s, &h1, &h2)
-		g2s = append(g2s, pk.G1, pk.G2)
+		h1s[i] = h[0]
+		h2s[i] = h[1]
 	}
-	zAgg, err := bn254.MultiScalarMultG1(zs, weights)
-	if err != nil {
-		return false, err
+	var aggs [4]*bn254.G1
+	for i, col := range [][]*bn254.G1{zs, rs, h1s, h2s} {
+		if aggs[i], err = bn254.G1MSM(col, weights); err != nil {
+			return false, err
+		}
 	}
-	rAgg, err := bn254.MultiScalarMultG1(rs, weights)
-	if err != nil {
-		return false, err
-	}
-	g1s = append(g1s, zAgg, rAgg)
-	g2s = append(g2s, pk.Params.LH.Gz, pk.Params.LH.Gr)
-	return bn254.PairingCheck(g1s, g2s), nil
+	gzPrep, grPrep := pk.Params.LH.PreparedGenerators()
+	pkPrep := pk.lhspsKey().Prepared()
+	return bn254.PairingCheckMixed([]*bn254.PairingSlot{
+		{P: aggs[0], Pre: gzPrep},
+		{P: aggs[1], Pre: grPrep},
+		{P: aggs[2], Pre: pkPrep[0]},
+		{P: aggs[3], Pre: pkPrep[1]},
+	}), nil
 }
 
 // ShareBatchEntry is one partial signature to batch-verify: the message
@@ -177,43 +180,51 @@ func BatchShareVerify(pk *PublicKey, entries []ShareBatchEntry, rng io.Reader) (
 		return false, err
 	}
 
+	gzPrep, grPrep := pk.Params.LH.PreparedGenerators()
+
 	if sameVK {
 		// One signer, k messages: prod_j e(H_kj, V_k)^{delta_j} =
 		// e(prod_j H_kj^{delta_j}, V_k), so two more multi-exponentiations
-		// reduce the check to a 4-slot multi-pairing.
+		// reduce the check to a 4-slot multi-pairing on precomputed lines.
 		h1s := make([]*bn254.G1, len(entries))
 		h2s := make([]*bn254.G1, len(entries))
 		for j := range entries {
 			h1s[j] = hs[j][0]
 			h2s[j] = hs[j][1]
 		}
-		h1Agg, err := bn254.MultiScalarMultG1(h1s, weights)
+		h1Agg, err := bn254.G1MSM(h1s, weights)
 		if err != nil {
 			return false, err
 		}
-		h2Agg, err := bn254.MultiScalarMultG1(h2s, weights)
+		h2Agg, err := bn254.G1MSM(h2s, weights)
 		if err != nil {
 			return false, err
 		}
-		vk := entries[0].VK
-		return bn254.PairingCheck(
-			[]*bn254.G1{zAgg, rAgg, h1Agg, h2Agg},
-			[]*bn254.G2{pk.Params.LH.Gz, pk.Params.LH.Gr, vk.V1, vk.V2},
-		), nil
+		vkPrep := entries[0].VK.lhspsKey(pk.Params).Prepared()
+		return bn254.PairingCheckMixed([]*bn254.PairingSlot{
+			{P: zAgg, Pre: gzPrep},
+			{P: rAgg, Pre: grPrep},
+			{P: h1Agg, Pre: vkPrep[0]},
+			{P: h2Agg, Pre: vkPrep[1]},
+		}), nil
 	}
 
-	g1s := make([]*bn254.G1, 0, 2*len(entries)+2)
-	g2s := make([]*bn254.G2, 0, 2*len(entries)+2)
-	g1s = append(g1s, zAgg, rAgg)
-	g2s = append(g2s, pk.Params.LH.Gz, pk.Params.LH.Gr)
+	slots := make([]*bn254.PairingSlot, 0, 2*len(entries)+2)
+	slots = append(slots,
+		&bn254.PairingSlot{P: zAgg, Pre: gzPrep},
+		&bn254.PairingSlot{P: rAgg, Pre: grPrep},
+	)
 	for j, e := range entries {
 		var h1, h2 bn254.G1
 		h1.ScalarMult(hs[j][0], weights[j])
 		h2.ScalarMult(hs[j][1], weights[j])
-		g1s = append(g1s, &h1, &h2)
-		g2s = append(g2s, e.VK.V1, e.VK.V2)
+		vkPrep := e.VK.lhspsKey(pk.Params).Prepared()
+		slots = append(slots,
+			&bn254.PairingSlot{P: &h1, Pre: vkPrep[0]},
+			&bn254.PairingSlot{P: &h2, Pre: vkPrep[1]},
+		)
 	}
-	return bn254.PairingCheck(g1s, g2s), nil
+	return bn254.PairingCheckMixed(slots), nil
 }
 
 // FindInvalidShares pinpoints the invalid entries of a share batch by

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"sync"
 
 	"repro/internal/bn254"
 	"repro/internal/dkg"
@@ -55,15 +56,49 @@ type Params struct {
 	hashDomain string
 }
 
+// paramsCache memoizes NewParams per domain: deriving the generators runs
+// two hash-to-G2 operations, and sharing the *Params object also shares
+// its lazily built fixed-base tables and pairing precomputations across
+// every Group (and every tenant) using the same domain. The cap bounds
+// memory against unbounded hostile domain labels.
+var paramsCache = struct {
+	sync.Mutex
+	m map[string]*Params
+}{m: make(map[string]*Params)}
+
+const paramsCacheCap = 256
+
 // NewParams derives parameters from a domain-separation label. As in the
 // paper, g^_r is obtained from a random-oracle-style hash so that no party
 // knows log_{g^_z}(g^_r) and no extra distributed-generation round is
-// needed.
+// needed. Results are memoized per domain, so request-path code never
+// re-hashes fixed generators.
 func NewParams(domain string) *Params {
-	return &Params{
+	paramsCache.Lock()
+	if p, ok := paramsCache.m[domain]; ok {
+		paramsCache.Unlock()
+		return p
+	}
+	paramsCache.Unlock()
+
+	p := &Params{
 		LH:         lhsps.NewParams(domain + "/gen"),
 		hashDomain: domain + "/H",
 	}
+
+	paramsCache.Lock()
+	defer paramsCache.Unlock()
+	if prev, ok := paramsCache.m[domain]; ok {
+		return prev // lost the race: keep the first object canonical
+	}
+	if len(paramsCache.m) >= paramsCacheCap {
+		for k := range paramsCache.m {
+			delete(paramsCache.m, k)
+			break
+		}
+	}
+	paramsCache.m[domain] = p
+	return p
 }
 
 // HashMessage computes (H_1, H_2) = H(M).
@@ -75,11 +110,20 @@ func (p *Params) HashMessage(msg []byte) []*bn254.G1 {
 type PublicKey struct {
 	Params *Params
 	G1, G2 *bn254.G2 // g^_1, g^_2
+
+	// Cached LHSPS view. The lhsps.PublicKey carries the Miller-loop line
+	// precomputations for (g^_1, g^_2), so reusing one object across
+	// verifications is what makes Verify run on precomputed lines.
+	lhspsOnce sync.Once
+	lhspsPK   *lhsps.PublicKey
 }
 
 // lhspsKey views the threshold public key as the LHSPS key it is.
 func (pk *PublicKey) lhspsKey() *lhsps.PublicKey {
-	return &lhsps.PublicKey{Params: pk.Params.LH, Gk: []*bn254.G2{pk.G1, pk.G2}}
+	pk.lhspsOnce.Do(func() {
+		pk.lhspsPK = &lhsps.PublicKey{Params: pk.Params.LH, Gk: []*bn254.G2{pk.G1, pk.G2}}
+	})
+	return pk.lhspsPK
 }
 
 // Equal reports whether two public keys have the same group elements.
@@ -125,6 +169,28 @@ func (sk *PrivateKeyShare) SizeBytes() int { return 4 * 32 }
 // VerificationKey is VK_i = (V^_1,i, V^_2,i).
 type VerificationKey struct {
 	V1, V2 *bn254.G2
+
+	// Cached LHSPS view (which in turn caches the Miller-loop lines for
+	// V^_1 and V^_2). Keys are rebuilt by refresh/rotation as NEW
+	// VerificationKey objects, so an epoch change structurally invalidates
+	// the cache — see Group.Precompute.
+	lhspsOnce sync.Once
+	lhspsPK   *lhsps.PublicKey
+}
+
+// lhspsKey views the verification key as the LHSPS key it is, caching the
+// object (and its pairing precompute) on first use. The cache is keyed by
+// the params of the first call; the cold path for a different *Params
+// returns an uncached key, which cannot happen for group-resident keys
+// because NewParams memoizes per domain.
+func (vk *VerificationKey) lhspsKey(params *Params) *lhsps.PublicKey {
+	vk.lhspsOnce.Do(func() {
+		vk.lhspsPK = &lhsps.PublicKey{Params: params.LH, Gk: []*bn254.G2{vk.V1, vk.V2}}
+	})
+	if vk.lhspsPK.Params != params.LH {
+		return &lhsps.PublicKey{Params: params.LH, Gk: []*bn254.G2{vk.V1, vk.V2}}
+	}
+	return vk.lhspsPK
 }
 
 // VerificationKeyOf computes the verification key a private share
@@ -245,31 +311,47 @@ func ShareSign(params *Params, sk *PrivateKeyShare, msg []byte) (*PartialSignatu
 
 // ShareVerify checks a partial signature against VK_i:
 // e(z_i, g^_z) e(r_i, g^_r) e(H_1, V^_1,i) e(H_2, V^_2,i) == 1.
+// All four G2 slots are fixed per (params, VK_i), so the multi-pairing
+// runs on cached Miller-loop line precomputations.
 func ShareVerify(pk *PublicKey, vk *VerificationKey, msg []byte, ps *PartialSignature) bool {
 	if ps == nil || ps.Z == nil || ps.R == nil || vk == nil {
 		return false
 	}
 	h := pk.Params.HashMessage(msg)
-	vkKey := &lhsps.PublicKey{Params: pk.Params.LH, Gk: []*bn254.G2{vk.V1, vk.V2}}
-	return vkKey.VerifyRelation(h, &lhsps.Signature{Z: ps.Z, R: ps.R})
+	return vk.lhspsKey(pk.Params).VerifyRelation(h, &lhsps.Signature{Z: ps.Z, R: ps.R})
 }
 
 // Combine assembles a full signature from partial signatures by Lagrange
 // interpolation in the exponent. It is robust: invalid shares are
 // discarded (Share-Verify), and any t+1 valid ones suffice. vks is the
 // 1-based verification key vector.
+//
+// Validity is established batch-first: all structurally well-formed parts
+// are checked in ONE small-exponent batched multi-pairing (4 slots on
+// precomputed lines plus four multi-exponentiations); only when the batch
+// fails does the bisection of FindInvalidShares spend additional pairings
+// to pinpoint the bad contributions.
 func Combine(pk *PublicKey, vks []*VerificationKey, msg []byte, parts []*PartialSignature, t int) (*Signature, error) {
-	valid := make(map[int]*PartialSignature)
 	rejected := false
+	cands := make([]*PartialSignature, 0, len(parts))
 	for _, ps := range parts {
 		if ps == nil || ps.Index < 1 || ps.Index >= len(vks) {
 			rejected = true
 			continue
 		}
+		if ps.Z == nil || ps.R == nil || vks[ps.Index] == nil {
+			rejected = true
+			continue
+		}
+		cands = append(cands, ps)
+	}
+	okAt := combineBatchCheck(pk, vks, msg, cands)
+	valid := make(map[int]*PartialSignature)
+	for j, ps := range cands {
 		if _, dup := valid[ps.Index]; dup {
 			continue
 		}
-		if ShareVerify(pk, vks[ps.Index], msg, ps) {
+		if okAt[j] {
 			valid[ps.Index] = ps
 		} else {
 			rejected = true
@@ -308,6 +390,36 @@ func Combine(pk *PublicKey, vks []*VerificationKey, msg []byte, parts []*Partial
 		return nil, fmt.Errorf("core: Combine: %w", err)
 	}
 	return out, nil
+}
+
+// combineBatchCheck reports per-candidate validity for Combine: one
+// batched multi-pairing accepts the common all-valid case outright, and a
+// failing batch is attributed by bisection. Candidates must be
+// structurally well-formed (non-nil components and in-range index).
+func combineBatchCheck(pk *PublicKey, vks []*VerificationKey, msg []byte, cands []*PartialSignature) []bool {
+	ok := make([]bool, len(cands))
+	if len(cands) == 0 {
+		return ok
+	}
+	entries := make([]ShareBatchEntry, len(cands))
+	for j, ps := range cands {
+		entries[j] = ShareBatchEntry{Msg: msg, VK: vks[ps.Index], PS: ps}
+	}
+	if pass, err := BatchShareVerify(pk, entries, nil); err == nil && pass {
+		for j := range ok {
+			ok[j] = true
+		}
+		return ok
+	}
+	bad := FindInvalidShares(pk, entries, nil)
+	badSet := make(map[int]bool, len(bad))
+	for _, j := range bad {
+		badSet[j] = true
+	}
+	for j := range ok {
+		ok[j] = !badSet[j]
+	}
+	return ok
 }
 
 // VerifyShare is the error-typed form of ShareVerify: it returns nil for

@@ -4,6 +4,7 @@ import (
 	"crypto"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/dkg"
 )
@@ -27,6 +28,37 @@ type Group struct {
 	PK     *PublicKey
 	// VKs[i] is signer i's verification key, 1-based (index 0 nil).
 	VKs []*VerificationKey
+
+	// Guards the one-time warm-up of the group's pairing precompute; see
+	// Precompute.
+	precompOnce sync.Once
+}
+
+// Precompute eagerly builds every Miller-loop line precomputation the
+// group's verification paths consume: the generators g^_z, g^_r, the
+// public key slots (g^_1, g^_2) and all n verification keys. It reports
+// whether THIS call performed the build — false when a previous call (or
+// lazy first use) already warmed the group — which is what the service
+// tier's rebuild counter observes.
+//
+// Epoch invalidation is structural: a refresh or rotation produces a NEW
+// Group with NEW VerificationKey objects (ApplyRefresh), so stale line
+// precomputations cannot outlive the key material they were derived from.
+// The unchanged *Params and *PublicKey objects are carried over, and their
+// caches — still valid, the public key survives a refresh — are reused.
+func (g *Group) Precompute() bool {
+	built := false
+	g.precompOnce.Do(func() {
+		built = true
+		g.Params.LH.PreparedGenerators()
+		g.PK.lhspsKey().Prepared()
+		for i := 1; i < len(g.VKs); i++ {
+			if g.VKs[i] != nil {
+				g.VKs[i].lhspsKey(g.Params).Prepared()
+			}
+		}
+	})
+	return built
 }
 
 // NewGroup builds and validates a Group from one server's Dist-Keygen

@@ -39,6 +39,23 @@ type Params struct {
 	precompOnce sync.Once
 	gzTables    *bn254.FixedBaseG2
 	grTables    *bn254.FixedBaseG2
+
+	// Miller-loop line precomputations for the generators, built lazily:
+	// g^_z and g^_r occupy two slots of every pairing check the scheme
+	// performs, so their G2-side Miller work is done once per Params.
+	pairOnce sync.Once
+	gzPrep   *bn254.G2Prepared
+	grPrep   *bn254.G2Prepared
+}
+
+// PreparedGenerators returns the (lazily built) Miller-loop line
+// precomputations for g^_z and g^_r.
+func (p *Params) PreparedGenerators() (gz, gr *bn254.G2Prepared) {
+	p.pairOnce.Do(func() {
+		p.gzPrep = bn254.PrecomputeG2(p.Gz)
+		p.grPrep = bn254.PrecomputeG2(p.Gr)
+	})
+	return p.gzPrep, p.grPrep
 }
 
 // precomp returns the (lazily built) fixed-base tables.
@@ -65,10 +82,28 @@ type PublicKey struct {
 	Params *Params
 	// Gk[k] = g^_z^chi_k * g^_r^gamma_k for k = 0..N-1.
 	Gk []*bn254.G2
+
+	// Miller-loop line precomputations for Gk, built on first use. They
+	// pay off when the key object is reused across verifications — the
+	// callers' key caches (core's verification-key and public-key caches)
+	// exist precisely to keep these alive.
+	prepOnce sync.Once
+	gkPrep   []*bn254.G2Prepared
 }
 
 // N returns the dimension of signable vectors.
 func (pk *PublicKey) N() int { return len(pk.Gk) }
+
+// Prepared returns the (lazily built) line precomputations for Gk.
+func (pk *PublicKey) Prepared() []*bn254.G2Prepared {
+	pk.prepOnce.Do(func() {
+		pk.gkPrep = make([]*bn254.G2Prepared, len(pk.Gk))
+		for k, g := range pk.Gk {
+			pk.gkPrep[k] = bn254.PrecomputeG2(g)
+		}
+	})
+	return pk.gkPrep
+}
 
 // PrivateKey is an LHSPS signing key.
 type PrivateKey struct {
@@ -152,14 +187,19 @@ func SignDerive(weights []*big.Int, sigs []*Signature) (*Signature, error) {
 	if len(sigs) == 0 {
 		return nil, errors.New("lhsps: empty derive inputs")
 	}
-	z := new(bn254.G1)
-	r := new(bn254.G1)
-	var term bn254.G1
+	zs := make([]*bn254.G1, len(sigs))
+	rs := make([]*bn254.G1, len(sigs))
 	for i := range sigs {
-		term.ScalarMult(sigs[i].Z, weights[i])
-		z.Add(z, &term)
-		term.ScalarMult(sigs[i].R, weights[i])
-		r.Add(r, &term)
+		zs[i] = sigs[i].Z
+		rs[i] = sigs[i].R
+	}
+	z, err := bn254.G1MSM(zs, weights)
+	if err != nil {
+		return nil, err
+	}
+	r, err := bn254.G1MSM(rs, weights)
+	if err != nil {
+		return nil, err
 	}
 	return &Signature{Z: z, R: r}, nil
 }
@@ -182,27 +222,29 @@ func (pk *PublicKey) Verify(msg []*bn254.G1, sig *Signature) bool {
 	if allInf {
 		return false
 	}
-	g1s := make([]*bn254.G1, 0, pk.N()+2)
-	g2s := make([]*bn254.G2, 0, pk.N()+2)
-	g1s = append(g1s, sig.Z, sig.R)
-	g2s = append(g2s, pk.Params.Gz, pk.Params.Gr)
-	for k, m := range msg {
-		g1s = append(g1s, m)
-		g2s = append(g2s, pk.Gk[k])
-	}
-	return bn254.PairingCheck(g1s, g2s)
+	return pk.VerifyRelation(msg, sig)
 }
 
 // VerifyRelation checks the verification equation WITHOUT the non-zero
 // vector restriction. The threshold schemes use this for partial-signature
-// checks where the "message" includes fixed generators.
+// checks where the "message" includes fixed generators. All G2 arguments
+// are fixed per key, so the check runs on precomputed Miller-loop lines
+// with the Miller loops sharded across cores.
 func (pk *PublicKey) VerifyRelation(msg []*bn254.G1, sig *Signature) bool {
 	if sig == nil || sig.Z == nil || sig.R == nil || len(msg) != pk.N() {
 		return false
 	}
-	g1s := append([]*bn254.G1{sig.Z, sig.R}, msg...)
-	g2s := append([]*bn254.G2{pk.Params.Gz, pk.Params.Gr}, pk.Gk...)
-	return bn254.PairingCheck(g1s, g2s)
+	gzPrep, grPrep := pk.Params.PreparedGenerators()
+	gkPrep := pk.Prepared()
+	slots := make([]*bn254.PairingSlot, 0, pk.N()+2)
+	slots = append(slots,
+		&bn254.PairingSlot{P: sig.Z, Pre: gzPrep},
+		&bn254.PairingSlot{P: sig.R, Pre: grPrep},
+	)
+	for k, m := range msg {
+		slots = append(slots, &bn254.PairingSlot{P: m, Pre: gkPrep[k]})
+	}
+	return bn254.PairingCheckMixed(slots)
 }
 
 // AddPrivateKeys returns the key with component-wise summed exponents.

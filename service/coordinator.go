@@ -185,6 +185,7 @@ func NewCoordinator(group *core.Group, signerURLs []string, cfg CoordinatorConfi
 		return nil, err
 	}
 	c.group.Store(group)
+	warmGroup(group, c.met.precomputeRebuilds)
 	// Adopt the file-provided group into the keystore: a later restart
 	// from -keystore-dir alone must keep serving the default group, and
 	// the manifest record written below would otherwise claim a
@@ -214,6 +215,7 @@ func NewKeylessCoordinator(signerURLs []string, cfg CoordinatorConfig) (*Coordin
 	}
 	if g, err := c.reg.LoadGroup(registry.DefaultGroup); err == nil {
 		c.group.Store(g)
+		warmGroup(g, c.met.precomputeRebuilds)
 	}
 	if err := syncDefaultRecord(c.reg, c.group.Load()); err != nil {
 		return nil, err
@@ -320,6 +322,7 @@ func (c *Coordinator) tenant(gid string, create bool) (*coordTenant, error) {
 	tn := newCoordTenant(c, gid, new(atomic.Pointer[core.Group]))
 	if g, err := c.reg.LoadGroup(gid); err == nil {
 		tn.group.Store(g)
+		warmGroup(g, c.met.precomputeRebuilds)
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("service: loading group %q: %w", gid, err)
 	}

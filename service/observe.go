@@ -3,6 +3,7 @@ package service
 import (
 	"strconv"
 
+	"repro/internal/core"
 	"repro/service/metrics"
 	"repro/service/registry"
 )
@@ -41,6 +42,8 @@ type signerMetrics struct {
 	stepSeconds      *metrics.Histogram  // one protocol round's local compute
 	sessionFinishes  *metrics.CounterVec // {proto}
 	sessionEvictions *metrics.Counter    // TTL garbage collections
+
+	precomputeRebuilds *metrics.Counter // pairing precompute builds (group installs)
 }
 
 func newSignerMetrics(s *Signer) *signerMetrics {
@@ -68,6 +71,8 @@ func newSignerMetrics(s *Signer) *signerMetrics {
 			"Protocol sessions finished (key material installed).", []string{"proto"}, 4),
 		sessionEvictions: r.NewCounter("tsig_proto_session_evictions_total",
 			"Protocol sessions evicted by the TTL garbage collector."),
+		precomputeRebuilds: r.NewCounter("tsig_pairing_precompute_rebuilds_total",
+			"Pairing precompute tables built for installed groups (cold loads and epoch changes)."),
 	}
 	r.NewGaugeFunc("tsig_signer_inflight",
 		"Requests holding or waiting for a signing worker.",
@@ -103,6 +108,8 @@ type coordMetrics struct {
 	coalesced   *metrics.Counter
 
 	windowOccupancy *metrics.Histogram // messages per dispatched window batch
+
+	precomputeRebuilds *metrics.Counter // pairing precompute builds (group installs)
 
 	protoRuns       *metrics.CounterVec   // {proto, outcome}
 	protoRunSeconds *metrics.HistogramVec // {proto}
@@ -148,6 +155,8 @@ func newCoordMetrics(c *Coordinator) *coordMetrics {
 			"Sign calls that joined another caller's in-flight fan-out."),
 		windowOccupancy: r.NewHistogram("tsig_coordinator_batch_window_occupancy",
 			"Messages per dispatched window batch.", metrics.SizeBuckets),
+		precomputeRebuilds: r.NewCounter("tsig_pairing_precompute_rebuilds_total",
+			"Pairing precompute tables built for installed groups (cold loads and epoch changes)."),
 		protoRuns: r.NewCounterVec("tsig_proto_runs_total",
 			"Driven protocol runs by outcome.", []string{"proto", "outcome"}, 8),
 		protoRunSeconds: r.NewHistogramVec("tsig_proto_run_seconds",
@@ -186,6 +195,18 @@ func registerBuildInfo(r *metrics.Registry) {
 		labels["revision"] = b.Revision
 	}
 	r.SetConstLabels("tsig_build_info", "Build information of the running daemon.", labels)
+}
+
+// warmGroup builds a freshly resolved group's pairing precompute — the
+// Miller-loop line tables for its generators, public key, and
+// verification keys — and counts the build. A Group object carries its
+// precompute for life, so warm tenants (every resolve after the install)
+// increment nothing; a refresh or rotation installs a NEW Group object
+// and therefore counts as exactly one rebuild per daemon.
+func warmGroup(g *core.Group, rebuilds *metrics.Counter) {
+	if g != nil && g.Precompute() {
+		rebuilds.Inc()
+	}
 }
 
 // registerRegistryMetrics exports the tenant registry's counters on a

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestPrecomputeRebuildCounter pins the service-tier precompute
+// contract: a group install (DKG finish) builds the pairing precompute
+// exactly once per daemon, warm signing traffic never rebuilds it, and a
+// refresh epoch — which installs a NEW Group object — rebuilds it
+// exactly once more, observable as tsig_pairing_precompute_rebuilds_total
+// on both the coordinator's and the signers' expositions.
+func TestPrecomputeRebuildCounter(t *testing.T) {
+	coordURL, _, signerURLs, _, _, _ := startObservedFleet(t, 3, CoordinatorConfig{CacheSize: -1})
+
+	const counter = "tsig_pairing_precompute_rebuilds_total"
+	wantCount := func(why string, want float64) {
+		t.Helper()
+		if v := metricValue(t, scrapeMetrics(t, coordURL), counter); v != want {
+			t.Errorf("%s: coordinator rebuilds = %v, want %v", why, v, want)
+		}
+		if v := metricValue(t, scrapeMetrics(t, signerURLs[0]), counter); v != want {
+			t.Errorf("%s: signer rebuilds = %v, want %v", why, v, want)
+		}
+	}
+
+	runDKGOverHTTP(t, coordURL, "/v1", 1, "precomp/v1", false)
+	wantCount("after keygen", 1)
+
+	// Warm tenants: signing traffic resolves the same Group object and
+	// must not rebuild anything.
+	signOverHTTP(t, coordURL, "/v1", []byte("warm message 1"))
+	signOverHTTP(t, coordURL, "/v1", []byte("warm message 2"))
+	wantCount("after warm signs", 1)
+
+	// A refresh epoch installs a new Group (new verification keys) on
+	// every daemon: exactly one rebuild each, stale tables unreachable.
+	if status, raw := httpPost(t, coordURL+"/v1/proto/refresh/run", `{}`); status != http.StatusOK {
+		t.Fatalf("POST /v1/proto/refresh/run: status %d: %s", status, raw)
+	}
+	wantCount("after refresh epoch", 2)
+
+	// The refreshed group serves warm again.
+	signOverHTTP(t, coordURL, "/v1", []byte("post-epoch message"))
+	wantCount("after post-epoch sign", 2)
+}

@@ -454,6 +454,7 @@ func (tn *coordTenant) runProtoInner(ctx context.Context, proto string, n, t int
 func (tn *coordTenant) installGroup(group *core.Group) error {
 	c := tn.c
 	old := tn.group.Swap(group)
+	warmGroup(group, c.met.precomputeRebuilds)
 	// A rotation replaces the public key; signatures cached under the old
 	// key must never be served for the new one. (A refresh preserves the
 	// PK, so its cache entries stay valid and are kept.)

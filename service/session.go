@@ -542,6 +542,7 @@ func (s *Signer) handleProtoFinish(proto string) http.HandlerFunc {
 			return
 		}
 		tn.state.Store(&signerState{group: group, share: share})
+		warmGroup(group, s.met.precomputeRebuilds)
 		delete(tn.proto.sessions, proto)
 		s.met.sessionFinishes.WithLabelValues(proto).Inc()
 		s.log.Info("protocol session finished, key material installed",

@@ -195,6 +195,7 @@ func NewDaemonSigner(cfg DaemonConfig) (*Signer, error) {
 	s.def = &signerTenant{id: registry.DefaultGroup, state: &s.state, proto: s.proto}
 	if cfg.Group != nil {
 		s.state.Store(&signerState{group: cfg.Group, share: cfg.Share})
+		warmGroup(cfg.Group, s.met.precomputeRebuilds)
 		// Adopt file-provided key material into the keystore: a later
 		// restart from -keystore-dir alone (no -group/-share) must keep
 		// serving the default group, and the manifest record written
@@ -204,7 +205,9 @@ func NewDaemonSigner(cfg DaemonConfig) (*Signer, error) {
 			return nil, fmt.Errorf("service: adopting default group into the keystore: %w", err)
 		}
 	} else if m, err := reg.LoadMember(registry.DefaultGroup, index); err == nil {
-		s.state.Store(&signerState{group: m.Group(), share: m.PrivateShare()})
+		st := &signerState{group: m.Group(), share: m.PrivateShare()}
+		s.state.Store(st)
+		warmGroup(st.group, s.met.precomputeRebuilds)
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("service: loading default keystore: %w", err)
 	}
@@ -310,7 +313,9 @@ func (s *Signer) tenant(gid string, create bool) (*signerTenant, error) {
 	}
 	tn := &signerTenant{id: gid, state: new(atomic.Pointer[signerState]), proto: newProtoHost(s.sessionTTL, s.met.sessionEvictions)}
 	if m, err := s.reg.LoadMember(gid, s.index); err == nil {
-		tn.state.Store(&signerState{group: m.Group(), share: m.PrivateShare()})
+		st := &signerState{group: m.Group(), share: m.PrivateShare()}
+		tn.state.Store(st)
+		warmGroup(st.group, s.met.precomputeRebuilds)
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("service: loading keystore for group %q: %w", gid, err)
 	}
